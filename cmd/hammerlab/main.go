@@ -1,0 +1,83 @@
+// Command hammerlab is an interactive playground for one simulated module:
+// pick a DIMM from the paper's Table 3, set a wordline voltage, and mount
+// RowHammer attacks against it.
+//
+//	hammerlab -module B3 -victim 100 -hc 50000
+//	hammerlab -module B3 -victim 100 -hc 50000 -vpp 1.6
+//	hammerlab -module A5 -characterize 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/dramstudy/rhvpp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hammerlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		module       = flag.String("module", "B3", "module name from Table 3 (A0..C9)")
+		vpp          = flag.Float64("vpp", rhvpp.VPPNominal, "wordline voltage (V)")
+		victim       = flag.Int("victim", 100, "victim row address")
+		hc           = flag.Int("hc", 0, "double-sided hammer count per aggressor (0 = skip attack)")
+		characterize = flag.Int("characterize", -1, "run full Alg. 1 characterization of this row")
+		discover     = flag.Bool("discover-vppmin", false, "lower VPP until the module stops responding")
+		seed         = flag.Uint64("seed", 2022, "device instance seed")
+	)
+	flag.Parse()
+
+	prof, ok := rhvpp.ModuleByName(*module)
+	if !ok {
+		return fmt.Errorf("unknown module %q", *module)
+	}
+	lab := rhvpp.NewLab(prof, rhvpp.WithSeed(*seed))
+	fmt.Printf("module %s (%s, %dGb %s, die %s): HCfirst %.0f, BER %.2e at 2.5V; VPPmin %.1fV\n",
+		prof.Name, prof.Mfr.FullName(), prof.DensityGb, prof.Org, prof.DieRev,
+		prof.Nominal.HCFirst, prof.Nominal.BER, prof.VPPMin)
+
+	if *discover {
+		min, err := lab.DiscoverVPPmin()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("discovered VPPmin: %.1fV\n", min)
+		return nil
+	}
+
+	if err := lab.SetVPP(*vpp); err != nil {
+		return err
+	}
+	fmt.Printf("operating at VPP = %.2fV\n", lab.VPP())
+
+	if *characterize >= 0 {
+		res, err := lab.CharacterizeRow(*characterize)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("row %d: WCDP %v, HCfirst %d, BER %.3e at %d hammers\n",
+			res.Row, res.WCDP, res.HCFirst, res.BER, rhvpp.ReferenceHC)
+		return nil
+	}
+
+	if *hc > 0 {
+		lo, hi, err := lab.Aggressors(*victim)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("victim %d: aggressors %d and %d (double-sided)\n", *victim, lo, hi)
+		ber, err := lab.MeasureBER(*victim, *hc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("after %d hammers/side: BER %.3e\n", *hc, ber)
+	}
+	return nil
+}

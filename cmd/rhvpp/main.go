@@ -1,0 +1,110 @@
+// Command rhvpp regenerates the paper's tables and figures from the
+// simulated study. Each experiment id corresponds to one table/figure of the
+// evaluation (see DESIGN.md for the full index):
+//
+//	rhvpp -list
+//	rhvpp -exp table3
+//	rhvpp -exp fig5 -modules B3,C0 -rows 8
+//	rhvpp -exp fig8b -mc 1000
+//	rhvpp -exp all -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/dramstudy/rhvpp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rhvpp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rhvpp", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "", "experiment id to run (or 'all'); see -list")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		modules = fs.String("modules", "", "comma-separated module subset (e.g. B3,C0); empty = all 30")
+		rows    = fs.Int("rows", 0, "rows per chunk (0 = default)")
+		chunks  = fs.Int("chunks", 0, "row chunks per module (0 = default)")
+		seed    = fs.Uint64("seed", 0, "simulation seed (0 = default)")
+		stride  = fs.Int("stride", 0, "VPP sweep stride (1 = every 0.1V level)")
+		mcRuns  = fs.Int("mc", 0, "SPICE Monte-Carlo runs per voltage (0 = default)")
+		full    = fs.Bool("full", false, "use the paper's full-scale parameters (very slow)")
+		outDir  = fs.String("out", "", "write each experiment's output to <out>/<id>.txt instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, n := range rhvpp.ExperimentNames() {
+			fmt.Fprintln(stdout, n)
+		}
+		return nil
+	}
+	if *exp == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -exp (use -list to see experiment ids)")
+	}
+
+	o := rhvpp.DefaultOptions()
+	if *full {
+		o = rhvpp.PaperOptions()
+	}
+	if *modules != "" {
+		o.ModuleNames = strings.Split(*modules, ",")
+	}
+	if *rows > 0 {
+		o.RowsPerChunk = *rows
+	}
+	if *chunks > 0 {
+		o.Chunks = *chunks
+	}
+	if *seed != 0 {
+		o.Seed = *seed
+	}
+	if *stride > 0 {
+		o.VPPStride = *stride
+	}
+	if *mcRuns > 0 {
+		o.SpiceMCRuns = *mcRuns
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = rhvpp.ExperimentNames()
+	}
+	for _, id := range ids {
+		w := stdout
+		var f *os.File
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, id+".txt"))
+			if err != nil {
+				return err
+			}
+			w = f
+		}
+		fmt.Fprintf(stdout, "== %s ==\n", id)
+		err := rhvpp.RunExperiment(id, o, w)
+		if f != nil {
+			f.Close()
+		}
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+	}
+	return nil
+}

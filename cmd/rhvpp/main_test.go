@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"table3", "fig5", "fig10a", "ext-temp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMissingExperimentFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("missing -exp accepted")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "16.8 fF") {
+		t.Errorf("table2 output wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunScopedExperimentWithFlags(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "summary", "-modules", "B3", "-rows", "3",
+		"-chunks", "2", "-stride", "4", "-seed", "9"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "HCfirst") {
+		t.Errorf("summary output wrong:\n%s", buf.String())
+	}
+}
+
+func TestOutDirWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table1", "-out", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "272") {
+		t.Error("written file missing content")
+	}
+}

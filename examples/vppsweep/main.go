@@ -1,0 +1,57 @@
+// VPP sweep: reproduce the paper's Observations 1 and 4 for a handful of
+// rows of one module — HCfirst rises and BER falls as the wordline voltage
+// scales down from 2.5 V to VPPmin, with per-row variation (Obsvs. 3/6).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"github.com/dramstudy/rhvpp"
+)
+
+func main() {
+	module := "C0"
+	if len(os.Args) > 1 {
+		module = os.Args[1]
+	}
+	prof, ok := rhvpp.ModuleByName(module)
+	if !ok {
+		log.Fatalf("unknown module %q", module)
+	}
+	lab := rhvpp.NewLab(prof)
+
+	victims := []int{100, 150, 200, 250}
+	fmt.Printf("VPP sweep of %s (%s): %d victims, double-sided attacks\n\n",
+		prof.Name, prof.Mfr.FullName(), len(victims))
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "VPP\t")
+	for _, v := range victims {
+		fmt.Fprintf(w, "row %d HCfirst\tBER\t", v)
+	}
+	fmt.Fprintln(w)
+
+	for _, vpp := range prof.VPPLevels() {
+		if err := lab.SetVPP(vpp); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%.1f\t", vpp)
+		for _, victim := range victims {
+			res, err := lab.CharacterizeRow(victim)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%d\t%.2e\t", res.HCFirst, res.BER)
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nexpect: HCfirst mostly rising and BER mostly falling toward VPPmin,")
+	fmt.Println("with occasional opposite-trend rows (paper Obsvs. 2 and 5).")
+}

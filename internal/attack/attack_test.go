@@ -1,0 +1,149 @@
+package attack
+
+import (
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/dram"
+	"github.com/dramstudy/rhvpp/internal/mapping"
+	"github.com/dramstudy/rhvpp/internal/physics"
+	"github.com/dramstudy/rhvpp/internal/softmc"
+)
+
+func testGeometry() physics.Geometry {
+	return physics.Geometry{Banks: 1, RowsPerBank: 2048, RowBytes: 512, SubarrayRows: 512}
+}
+
+func newCtrl(t *testing.T, opts ...dram.Option) *softmc.Controller {
+	t.Helper()
+	p, ok := physics.ProfileByName("B0") // weakest HCfirst, flips readily
+	if !ok {
+		t.Fatal("no profile B0")
+	}
+	opts = append([]dram.Option{dram.WithScheme(mapping.Direct{})}, opts...)
+	return softmc.New(dram.NewModule(p, testGeometry(), 11, opts...))
+}
+
+func target(victim int) Target {
+	return Target{Bank: 0, Victim: victim, AggLo: victim - 1, AggHi: victim + 1}
+}
+
+// sumFlips aggregates an attack over several victims (per-row strength
+// varies widely).
+func sumFlips(t *testing.T, ctrl *softmc.Controller, pat Pattern, budget, refEvery int) int {
+	t.Helper()
+	total := 0
+	for _, v := range []int{100, 140, 180, 220, 260} {
+		res, err := Execute(ctrl, target(v), pat, budget, refEvery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.Flips
+	}
+	return total
+}
+
+func TestDoubleSidedBeatsSingleSided(t *testing.T) {
+	ctrl := newCtrl(t)
+	const budget = 120_000
+	ds := sumFlips(t, ctrl, DoubleSided{}, budget, 0)
+	ss := sumFlips(t, ctrl, SingleSided{}, budget, 0)
+	if ds == 0 {
+		t.Fatal("double-sided attack flipped nothing")
+	}
+	if ss >= ds {
+		t.Errorf("single-sided (%d) >= double-sided (%d) at equal budget", ss, ds)
+	}
+}
+
+func TestManySidedWeakerPerVictim(t *testing.T) {
+	ctrl := newCtrl(t)
+	const budget = 120_000
+	ds := sumFlips(t, ctrl, DoubleSided{}, budget, 0)
+	ms := sumFlips(t, ctrl, ManySided{Pairs: 4}, budget, 0)
+	if ms >= ds {
+		t.Errorf("many-sided (%d) >= double-sided (%d): budget splitting should dilute", ms, ds)
+	}
+}
+
+func TestMisraGriesTRRStopsDoubleSided(t *testing.T) {
+	starved := newCtrl(t, dram.WithTRR(16))
+	flipsStarved := sumFlips(t, starved, DoubleSided{}, 200_000, 0)
+	if flipsStarved == 0 {
+		t.Fatal("starved attack flipped nothing; raise the budget")
+	}
+	defended := newCtrl(t, dram.WithTRR(16))
+	flipsDefended := sumFlips(t, defended, DoubleSided{}, 200_000, 4000)
+	if flipsDefended >= flipsStarved {
+		t.Errorf("MG TRR with REFs (%d flips) not below starved (%d)", flipsDefended, flipsStarved)
+	}
+}
+
+func TestDecoyFloodDilutesSamplingTRR(t *testing.T) {
+	const budget = 400_000
+	const refEvery = 4000
+
+	// Against the sampling tracker, the decoy flood must cause more victim
+	// flips than an honest double-sided attack of the same total budget,
+	// despite spending 30% of its activations on decoys.
+	honest := newCtrl(t, dram.WithSamplingTRR(1.0/64, 5))
+	honestFlips := sumFlips(t, honest, DoubleSided{}, budget, refEvery)
+
+	evading := newCtrl(t, dram.WithSamplingTRR(1.0/64, 5))
+	evadeFlips := sumFlips(t, evading, DecoyFlood{}, budget, refEvery)
+
+	if evadeFlips <= honestFlips {
+		t.Errorf("decoy flood (%d flips) did not beat honest double-sided (%d) against a sampler",
+			evadeFlips, honestFlips)
+	}
+}
+
+func TestMisraGriesResistsDecoyFlood(t *testing.T) {
+	const budget = 400_000
+	const refEvery = 4000
+
+	mg := newCtrl(t, dram.WithTRR(16))
+	mgFlips := sumFlips(t, mg, DecoyFlood{}, budget, refEvery)
+
+	sampler := newCtrl(t, dram.WithSamplingTRR(1.0/64, 5))
+	samplerFlips := sumFlips(t, sampler, DecoyFlood{}, budget, refEvery)
+
+	// The counter-based tracker keeps the true heavy hitter; the sampler is
+	// diluted. Same attack, same budget: MG must let through fewer flips.
+	if mgFlips >= samplerFlips {
+		t.Errorf("MG tracker (%d flips) not better than sampler (%d) under decoy flood",
+			mgFlips, samplerFlips)
+	}
+}
+
+func TestExecuteValidatesTarget(t *testing.T) {
+	ctrl := newCtrl(t)
+	bad := Target{Bank: 0, Victim: 100, AggLo: 100, AggHi: 101}
+	if _, err := Execute(ctrl, bad, DoubleSided{}, 1000, 0); err == nil {
+		t.Error("victim==aggressor accepted")
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	names := map[string]Pattern{
+		"single-sided": SingleSided{},
+		"double-sided": DoubleSided{},
+		"many-sided-4": ManySided{Pairs: 4},
+		"decoy-flood":  DecoyFlood{},
+	}
+	for want, p := range names {
+		if got := p.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestRefEveryZeroMeansStarved(t *testing.T) {
+	// With refEvery=0 no REF is ever issued, so a TRR-equipped module
+	// behaves exactly like an undefended one.
+	plain := newCtrl(t)
+	trr := newCtrl(t, dram.WithTRR(16))
+	const budget = 150_000
+	if a, b := sumFlips(t, plain, DoubleSided{}, budget, 0), sumFlips(t, trr, DoubleSided{}, budget, 0); a != b {
+		t.Errorf("starved TRR module differs from undefended: %d vs %d", b, a)
+	}
+}

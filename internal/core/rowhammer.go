@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/dramstudy/rhvpp/internal/mapping"
+	"github.com/dramstudy/rhvpp/internal/pattern"
+	"github.com/dramstudy/rhvpp/internal/softmc"
+)
+
+// Tester runs the characterization algorithms against one module through
+// its controller. A Tester is not safe for concurrent use (neither is a
+// memory channel).
+type Tester struct {
+	ctrl *softmc.Controller
+	cfg  Config
+	adj  mapping.AdjacencyMap // optional: probed adjacency overrides the scheme
+}
+
+// NewTester builds a tester for a controller.
+func NewTester(ctrl *softmc.Controller, cfg Config) *Tester {
+	return &Tester{ctrl: ctrl, cfg: cfg}
+}
+
+// Controller returns the underlying controller.
+func (t *Tester) Controller() *softmc.Controller { return t.ctrl }
+
+// Config returns the methodology parameters in use.
+func (t *Tester) Config() Config { return t.cfg }
+
+// UseAdjacency installs a probed adjacency map (from reverse engineering);
+// victims it resolves take precedence over the vendor's documented scheme.
+func (t *Tester) UseAdjacency(adj mapping.AdjacencyMap) { t.adj = adj }
+
+// AggressorsFor returns the two logical row addresses physically adjacent to
+// the victim. Probed adjacency is preferred; otherwise the vendor's
+// documented scrambling scheme (published by prior reverse-engineering work)
+// is consulted. Victims at subarray boundaries have no usable pair.
+func (t *Tester) AggressorsFor(victim int) (lo, hi int, err error) {
+	if t.adj != nil {
+		if ns, nerr := t.adj.Neighbors(victim); nerr == nil && len(ns) == 2 {
+			return ns[0], ns[1], nil
+		}
+	}
+	geom := t.ctrl.Module().Geometry()
+	sch := t.ctrl.Module().Scheme()
+	pv := sch.LogicalToPhysical(victim)
+	sub := geom.SubarrayRows
+	plo, phi := pv-1, pv+1
+	if plo < 0 || phi >= geom.RowsPerBank || plo/sub != pv/sub || phi/sub != pv/sub {
+		return 0, 0, fmt.Errorf("victim %d: %w", victim, ErrNoAggressors)
+	}
+	return sch.PhysicalToLogical(plo), sch.PhysicalToLogical(phi), nil
+}
+
+// MeasureBER performs one measure_BER step of Alg. 1: initialize the victim
+// with the data pattern and the aggressors with its bitwise inverse, hammer
+// double-sided hc times per aggressor, and return the victim's bit error
+// rate.
+func (t *Tester) MeasureBER(victim int, pat pattern.Kind, hc int) (float64, error) {
+	aggLo, aggHi, err := t.AggressorsFor(victim)
+	if err != nil {
+		return 0, err
+	}
+	b := t.cfg.Bank
+	if err := t.ctrl.InitializeRow(b, victim, pat.Byte()); err != nil {
+		return 0, err
+	}
+	inv := pat.Inverse().Byte()
+	if err := t.ctrl.InitializeRow(b, aggLo, inv); err != nil {
+		return 0, err
+	}
+	if err := t.ctrl.InitializeRow(b, aggHi, inv); err != nil {
+		return 0, err
+	}
+	if err := t.ctrl.HammerDoubleSided(b, aggLo, aggHi, hc); err != nil {
+		return 0, err
+	}
+	// Read with the conservative safe latency: on modules whose tRCDmin
+	// exceeds the nominal value at reduced VPP, a nominal-timing read would
+	// corrupt data and masquerade as RowHammer flips.
+	data, err := t.ctrl.ReadRowSafe(b, victim)
+	if err != nil {
+		return 0, err
+	}
+	flips := pat.CountMismatch(data)
+	return float64(flips) / float64(len(data)*8), nil
+}
+
+// MeasureBERSeries repeats MeasureBER n times and returns every per-
+// iteration value (used for the §4.6 coefficient-of-variation analysis).
+func (t *Tester) MeasureBERSeries(victim int, pat pattern.Kind, hc, n int) ([]float64, error) {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		ber, err := t.MeasureBER(victim, pat, hc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ber)
+	}
+	return out, nil
+}
+
+// measureBERMax returns the maximum BER across iterations (the worst case
+// the paper records).
+func (t *Tester) measureBERMax(victim int, pat pattern.Kind, hc, iters int) (float64, error) {
+	max := 0.0
+	for i := 0; i < iters; i++ {
+		ber, err := t.MeasureBER(victim, pat, hc)
+		if err != nil {
+			return 0, err
+		}
+		if ber > max {
+			max = ber
+		}
+	}
+	return max, nil
+}
+
+// HCFirstSearch runs the Alg. 1 divide-and-conquer search for the minimum
+// hammer count at which the victim exhibits a bit flip, using the given data
+// pattern and iteration count.
+func (t *Tester) HCFirstSearch(victim int, pat pattern.Kind, iters int) (int, error) {
+	hc := t.cfg.RefHC
+	step := t.cfg.InitialHCStep
+	for step > t.cfg.MinHCStep {
+		berMax, err := t.measureBERMax(victim, pat, hc, iters)
+		if err != nil {
+			return 0, err
+		}
+		if berMax == 0 {
+			hc += step
+		} else {
+			hc -= step
+		}
+		step /= 2
+	}
+	if hc < 1 {
+		hc = 1
+	}
+	return hc, nil
+}
+
+// RowHammerResult is the per-row outcome of the Alg. 1 characterization.
+type RowHammerResult struct {
+	Row     int
+	WCDP    pattern.Kind
+	HCFirst int
+	// BER is the worst-case bit error rate at the reference hammer count.
+	BER float64
+}
+
+// SelectWCDP implements the §4.2 worst-case data pattern choice: the pattern
+// with the lowest HCfirst, ties broken by the largest BER at the reference
+// hammer count.
+func (t *Tester) SelectWCDP(victim int) (pattern.Kind, error) {
+	best := pattern.RowStripeFF
+	bestHC := 0
+	bestBER := -1.0
+	first := true
+	for _, k := range pattern.All() {
+		hc, err := t.HCFirstSearch(victim, k, t.cfg.WCDPIterations)
+		if err != nil {
+			return best, err
+		}
+		switch {
+		case first || hc < bestHC:
+			first = false
+			best, bestHC = k, hc
+			bestBER = -1 // recomputed lazily on ties only
+		case hc == bestHC:
+			if bestBER < 0 {
+				ber, err := t.measureBERMax(victim, best, t.cfg.RefHC, t.cfg.WCDPIterations)
+				if err != nil {
+					return best, err
+				}
+				bestBER = ber
+			}
+			ber, err := t.measureBERMax(victim, k, t.cfg.RefHC, t.cfg.WCDPIterations)
+			if err != nil {
+				return best, err
+			}
+			if ber > bestBER {
+				best, bestBER = k, ber
+			}
+		}
+	}
+	return best, nil
+}
+
+// CharacterizeRow runs the full Alg. 1 flow for one victim: WCDP selection
+// (if not supplied), worst-case BER at the reference hammer count, and the
+// HCfirst search.
+func (t *Tester) CharacterizeRow(victim int, wcdp pattern.Kind) (RowHammerResult, error) {
+	var err error
+	if !wcdp.Valid() {
+		wcdp, err = t.SelectWCDP(victim)
+		if err != nil {
+			return RowHammerResult{}, err
+		}
+	}
+	ber, err := t.measureBERMax(victim, wcdp, t.cfg.RefHC, t.cfg.Iterations)
+	if err != nil {
+		return RowHammerResult{}, err
+	}
+	hcf, err := t.HCFirstSearch(victim, wcdp, t.cfg.Iterations)
+	if err != nil {
+		return RowHammerResult{}, err
+	}
+	return RowHammerResult{Row: victim, WCDP: wcdp, HCFirst: hcf, BER: ber}, nil
+}

@@ -1,0 +1,33 @@
+package dram
+
+import "github.com/dramstudy/rhvpp/internal/pattern"
+
+// patternKind aliases the canonical data-pattern type for readability inside
+// the device model.
+type patternKind = pattern.Kind
+
+// defaultPattern is the behavior assumed for rows holding non-canonical or
+// undefined data.
+const defaultPattern = pattern.RowStripeFF
+
+// patternFromByte maps a row's fill byte back to the canonical pattern the
+// physics model keys its data-pattern dependence on. Unknown fill bytes fall
+// back to the default pattern.
+func patternFromByte(b byte) patternKind {
+	switch b {
+	case 0xFF:
+		return pattern.RowStripeFF
+	case 0x00:
+		return pattern.RowStripe00
+	case 0xAA:
+		return pattern.CheckerAA
+	case 0x55:
+		return pattern.Checker55
+	case 0xCC:
+		return pattern.ThickCC
+	case 0x33:
+		return pattern.Thick33
+	default:
+		return defaultPattern
+	}
+}

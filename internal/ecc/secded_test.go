@@ -1,0 +1,234 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	for _, data := range []uint64{0, 1, 0xFFFFFFFFFFFFFFFF, 0xAAAAAAAAAAAAAAAA, 0xDEADBEEFCAFEBABE} {
+		cw := Encode(data)
+		got, res, err := Decode(cw)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%#x)) error: %v", data, err)
+		}
+		if res != OK {
+			t.Errorf("clean decode result = %v, want OK", res)
+		}
+		if got != data {
+			t.Errorf("round trip = %#x, want %#x", got, data)
+		}
+	}
+}
+
+func TestSingleBitDataErrorsCorrected(t *testing.T) {
+	data := uint64(0x0123456789ABCDEF)
+	cw := Encode(data)
+	for bit := 0; bit < 64; bit++ {
+		corrupted := cw
+		corrupted.Data ^= 1 << uint(bit)
+		got, res, err := Decode(corrupted)
+		if err != nil {
+			t.Fatalf("bit %d: decode error %v", bit, err)
+		}
+		if res != Corrected {
+			t.Errorf("bit %d: result = %v, want Corrected", bit, res)
+		}
+		if got != data {
+			t.Errorf("bit %d: corrected to %#x, want %#x", bit, got, data)
+		}
+	}
+}
+
+func TestSingleBitCheckErrorsCorrected(t *testing.T) {
+	data := uint64(0xFEDCBA9876543210)
+	cw := Encode(data)
+	for bit := 0; bit < 8; bit++ {
+		corrupted := cw
+		corrupted.Check ^= 1 << uint(bit)
+		got, res, err := Decode(corrupted)
+		if err != nil {
+			t.Fatalf("check bit %d: decode error %v", bit, err)
+		}
+		if res != Corrected {
+			t.Errorf("check bit %d: result = %v, want Corrected", bit, res)
+		}
+		if got != data {
+			t.Errorf("check bit %d: data changed to %#x", bit, got)
+		}
+	}
+}
+
+func TestDoubleBitErrorsDetected(t *testing.T) {
+	data := uint64(0x5555AAAA3333CCCC)
+	cw := Encode(data)
+	pairs := [][2]int{{0, 1}, {0, 63}, {13, 47}, {31, 32}, {62, 63}}
+	for _, p := range pairs {
+		corrupted := cw
+		corrupted.Data ^= 1<<uint(p[0]) | 1<<uint(p[1])
+		_, res, err := Decode(corrupted)
+		if err != ErrUncorrectable {
+			t.Errorf("flips %v: err = %v, want ErrUncorrectable", p, err)
+		}
+		if res != Detected {
+			t.Errorf("flips %v: result = %v, want Detected", p, res)
+		}
+	}
+}
+
+func TestDoubleBitDataPlusCheckDetected(t *testing.T) {
+	data := uint64(0x0F0F0F0F0F0F0F0F)
+	cw := Encode(data)
+	for _, dataBit := range []int{0, 17, 63} {
+		for _, checkBit := range []int{0, 3, 6} {
+			corrupted := cw
+			corrupted.Data ^= 1 << uint(dataBit)
+			corrupted.Check ^= 1 << uint(checkBit)
+			_, res, _ := Decode(corrupted)
+			if res != Detected {
+				t.Errorf("data bit %d + check bit %d: result = %v, want Detected",
+					dataBit, checkBit, res)
+			}
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	tests := []struct {
+		r    Result
+		want string
+	}{
+		{OK, "ok"}, {Corrected, "corrected"}, {Detected, "detected-uncorrectable"},
+		{Result(0), "ecc.Result(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.r), got, tt.want)
+		}
+	}
+}
+
+func TestCorrectWord(t *testing.T) {
+	stored := uint64(0xCAFED00DCAFED00D)
+	if got, res := CorrectWord(stored, 0); got != stored || res != OK {
+		t.Errorf("no-error path = %#x,%v", got, res)
+	}
+	if got, res := CorrectWord(stored, 1<<42); got != stored || res != Corrected {
+		t.Errorf("single-flip path = %#x,%v; want %#x,Corrected", got, res, stored)
+	}
+	if _, res := CorrectWord(stored, 3); res != Detected {
+		t.Errorf("double-flip path result = %v, want Detected", res)
+	}
+}
+
+func TestAnalyzeRow(t *testing.T) {
+	row := make([]byte, 64) // 8 words
+	for i := range row {
+		row[i] = 0xAA
+	}
+	we := AnalyzeRow(row, 0xAA)
+	if we.WordsWithOneFlip != 0 || we.WordsWithMultiFlips != 0 {
+		t.Errorf("clean row analysis = %+v", we)
+	}
+
+	row[0] ^= 0x01 // word 0: one flip
+	row[9] ^= 0x02 // word 1: one flip
+	we = AnalyzeRow(row, 0xAA)
+	if we.WordsWithOneFlip != 2 || we.WordsWithMultiFlips != 0 {
+		t.Errorf("two single-flip words: %+v", we)
+	}
+
+	row[16] ^= 0x81 // word 2: two flips in one byte
+	we = AnalyzeRow(row, 0xAA)
+	if we.WordsWithOneFlip != 2 || we.WordsWithMultiFlips != 1 {
+		t.Errorf("after multi-flip word: %+v", we)
+	}
+}
+
+func TestAnalyzeRowShortTail(t *testing.T) {
+	row := make([]byte, 12) // one full word + 4-byte tail
+	row[8] ^= 0x10          // tail word: one flip relative to 0x00
+	we := AnalyzeRow(row, 0x00)
+	if we.WordsWithOneFlip != 1 || we.WordsWithMultiFlips != 0 {
+		t.Errorf("tail analysis = %+v", we)
+	}
+}
+
+func TestSECDEDCorrectable(t *testing.T) {
+	row := make([]byte, 32)
+	if !SECDEDCorrectable(row, 0x00) {
+		t.Error("clean row reported uncorrectable")
+	}
+	row[0] = 0x01
+	row[8] = 0x80
+	if !SECDEDCorrectable(row, 0x00) {
+		t.Error("one flip per word reported uncorrectable")
+	}
+	row[1] = 0x01 // second flip in word 0
+	if SECDEDCorrectable(row, 0x00) {
+		t.Error("double flip in a word reported correctable")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data uint64) bool {
+		got, res, err := Decode(Encode(data))
+		return err == nil && res == OK && got == data
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSingleFlipAlwaysCorrected(t *testing.T) {
+	f := func(data uint64, bit uint8) bool {
+		cw := Encode(data)
+		cw.Data ^= 1 << uint(bit%64)
+		got, res, err := Decode(cw)
+		return err == nil && res == Corrected && got == data
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDoubleFlipNeverMiscorrected(t *testing.T) {
+	f := func(data uint64, b1, b2 uint8) bool {
+		i, j := uint(b1%64), uint(b2%64)
+		if i == j {
+			return true
+		}
+		cw := Encode(data)
+		cw.Data ^= 1<<i | 1<<j
+		_, res, _ := Decode(cw)
+		// A double error must never be silently "corrected" into wrong data.
+		return res == Detected
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistinctDataDistinctCheck(t *testing.T) {
+	// Encode must be deterministic.
+	f := func(data uint64) bool {
+		return Encode(data) == Encode(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Encode(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+}
+
+func BenchmarkDecodeClean(b *testing.B) {
+	cw := Encode(0xDEADBEEF)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = Decode(cw)
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/dramstudy/rhvpp/internal/core"
+	"github.com/dramstudy/rhvpp/internal/infra"
+	"github.com/dramstudy/rhvpp/internal/mitigation"
+	"github.com/dramstudy/rhvpp/internal/physics"
+	"github.com/dramstudy/rhvpp/internal/report"
+)
+
+// FineRefreshStudy is the footnote-14 extension: per-row refresh windows at
+// finer than power-of-two granularity, compared against the blanket 2x rate
+// of Obsv. 15.
+type FineRefreshStudy struct {
+	Module string
+	// WeakRows is the number of rows failing at the nominal window.
+	WeakRows  int
+	TotalRows int
+	// BlanketCost and FineCost are total refresh rates relative to uniform
+	// nominal refresh (1.0 = baseline).
+	BlanketCost float64
+	FineCost    float64
+	// WindowsMS are the per-weak-row assigned windows.
+	WindowsMS []float64
+	// Verified reports that the fine plan eliminated all retention flips.
+	Verified bool
+}
+
+// RunFineRefreshStudy profiles one failing module at VPPmin and builds both
+// plans.
+func RunFineRefreshStudy(o Options, moduleName string) (FineRefreshStudy, error) {
+	prof, ok := physics.ProfileByName(moduleName)
+	if !ok {
+		return FineRefreshStudy{}, fmt.Errorf("unknown module %s", moduleName)
+	}
+	tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
+	if err := tb.SetTemperature(physics.RetentionTestTempC); err != nil {
+		return FineRefreshStudy{}, err
+	}
+	if err := tb.SetVPP(prof.VPPMin); err != nil {
+		return FineRefreshStudy{}, err
+	}
+	tester := core.NewTester(tb.Controller, o.Config)
+	rows := core.SelectRows(o.Geometry, o.Chunks, o.RowsPerChunk*10)
+
+	plan, err := mitigation.BuildFineRefreshPlan(tester, rows, physics.TREFWNominalMS, 1, 0.85)
+	if err != nil {
+		return FineRefreshStudy{}, err
+	}
+	st := FineRefreshStudy{
+		Module:    moduleName,
+		WeakRows:  len(plan.WindowMS),
+		TotalRows: len(rows),
+		FineCost:  plan.RefreshCostVsNominal(),
+	}
+	st.BlanketCost = (float64(len(rows)-st.WeakRows) + 2*float64(st.WeakRows)) / float64(len(rows))
+	for _, w := range plan.WindowMS {
+		st.WindowsMS = append(st.WindowsMS, w)
+	}
+	failed, err := mitigation.VerifyFine(tester, plan, rows, 0xAA)
+	if err != nil {
+		return st, err
+	}
+	st.Verified = failed == 0
+	return st, nil
+}
+
+// Render prints the comparison.
+func (st FineRefreshStudy) Render(w io.Writer) error {
+	t := &report.Table{
+		Title: fmt.Sprintf("Extension: fine-grained refresh windows on %s at VPPmin (paper footnote 14)",
+			st.Module),
+		Headers: []string{"metric", "value"},
+	}
+	t.Add("profiled rows", st.TotalRows)
+	t.Add("weak rows (fail at 64ms)", st.WeakRows)
+	t.Add("refresh cost, blanket 2x plan", fmt.Sprintf("%.4fx nominal", st.BlanketCost))
+	t.Add("refresh cost, fine-grained plan", fmt.Sprintf("%.4fx nominal", st.FineCost))
+	save := 0.0
+	if st.BlanketCost > 1 {
+		save = (st.BlanketCost - st.FineCost) / (st.BlanketCost - 1) * 100
+	}
+	t.Add("overhead saved vs blanket 2x", fmt.Sprintf("%.0f%%", save))
+	t.Add("plan verified flip-free", st.Verified)
+	return t.Render(w)
+}
+
+// PowerStudy tabulates the VPP rail's electrical cost across the sweep: the
+// supply current the interposer's shunt position would measure, the rail
+// power, and the energy per activation, next to the security benefit
+// (module HCfirst). Energy per activation is modeled as wordline charge
+// C_wl * VPP^2 plus the pump overhead captured by the supply current model.
+type PowerStudy struct {
+	Module  string
+	VPP     []float64
+	Current []float64 // mA at the supply
+	Power   []float64 // mW on the rail
+	HCFirst []float64
+}
+
+// RunPowerStudy measures current/power across the sweep of one module while
+// the characterization workload runs.
+func RunPowerStudy(o Options, moduleName string) (PowerStudy, error) {
+	prof, ok := physics.ProfileByName(moduleName)
+	if !ok {
+		return PowerStudy{}, fmt.Errorf("unknown module %s", moduleName)
+	}
+	tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
+	tester := core.NewTester(tb.Controller, o.Config)
+	rows := selectVictims(tester, o)
+	if len(rows) > 4 {
+		rows = rows[:4]
+	}
+	ps := PowerStudy{Module: moduleName}
+	for _, vpp := range o.vppLevels(prof) {
+		if err := tb.SetVPP(vpp); err != nil {
+			return ps, err
+		}
+		minHC := 0.0
+		for _, row := range rows {
+			res, err := tester.CharacterizeRow(row, 0)
+			if err != nil {
+				return ps, err
+			}
+			if minHC == 0 || float64(res.HCFirst) < minHC {
+				minHC = float64(res.HCFirst)
+			}
+		}
+		ma := tb.Supply.ReadCurrentMA()
+		ps.VPP = append(ps.VPP, vpp)
+		ps.Current = append(ps.Current, ma)
+		ps.Power = append(ps.Power, ma*vpp)
+		ps.HCFirst = append(ps.HCFirst, minHC)
+	}
+	return ps, nil
+}
+
+// Render prints the power table.
+func (ps PowerStudy) Render(w io.Writer) error {
+	t := &report.Table{
+		Title:   fmt.Sprintf("Extension: VPP rail electrical cost vs RowHammer benefit on %s", ps.Module),
+		Headers: []string{"VPP (V)", "rail current (mA)", "rail power (mW)", "module HCfirst"},
+	}
+	for i := range ps.VPP {
+		t.Add(fmt.Sprintf("%.1f", ps.VPP[i]), fmt.Sprintf("%.2f", ps.Current[i]),
+			fmt.Sprintf("%.2f", ps.Power[i]), ps.HCFirst[i])
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if n := len(ps.VPP); n > 1 && ps.Power[0] > 0 {
+		fmt.Fprintf(w, "rail power at VPPmin is %.0f%% of nominal while HCfirst changes %+.0f%%\n",
+			ps.Power[n-1]/ps.Power[0]*100, (ps.HCFirst[n-1]/ps.HCFirst[0]-1)*100)
+	}
+	return nil
+}

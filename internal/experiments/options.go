@@ -1,0 +1,111 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, plus the ablation studies listed in DESIGN.md. Each
+// driver assembles a testbed per module, runs the core characterization
+// algorithms across the VPP sweep, and returns structured results together
+// with render helpers that print the same rows/series the paper reports.
+package experiments
+
+import (
+	"github.com/dramstudy/rhvpp/internal/core"
+	"github.com/dramstudy/rhvpp/internal/physics"
+)
+
+// Options scales the experiment campaign. The paper's full scale (272 chips,
+// 4K rows each, 10 iterations) runs for weeks on an FPGA; Default keeps the
+// same structure at a size a laptop simulates in seconds, and Paper restores
+// the full parameters.
+type Options struct {
+	// Seed selects the simulated device population.
+	Seed uint64
+	// Geometry is the simulated array organization.
+	Geometry physics.Geometry
+	// Config is the methodology parameter set (iterations, search steps).
+	Config core.Config
+	// Chunks and RowsPerChunk select the tested victim rows per module
+	// (the paper uses 4 chunks of 1K rows).
+	Chunks, RowsPerChunk int
+	// ModuleNames restricts the campaign to a subset of Table 3 modules;
+	// empty means all 30.
+	ModuleNames []string
+	// VPPStride subsamples the 0.1 V sweep (1 = every level, 2 = every
+	// other level, ...). The nominal level and VPPmin are always included.
+	VPPStride int
+	// SpiceMCRuns is the Monte-Carlo campaign size per VPP level for the
+	// Fig. 8b / 9b distributions (the paper runs 10K).
+	SpiceMCRuns int
+	// RetentionVPPLevels are the voltages swept by the Fig. 10 retention
+	// study (clamped per module to its VPPmin).
+	RetentionVPPLevels []float64
+}
+
+// Default returns a laptop-scale campaign preserving the paper's structure.
+func Default() Options {
+	return Options{
+		Seed:               2022,
+		Geometry:           physics.Geometry{Banks: 1, RowsPerBank: 8192, RowBytes: 1024, SubarrayRows: 512},
+		Config:             core.Quick(),
+		Chunks:             4,
+		RowsPerChunk:       6,
+		VPPStride:          2,
+		SpiceMCRuns:        200,
+		RetentionVPPLevels: []float64{2.5, 2.1, 1.9, 1.7, 1.5},
+	}
+}
+
+// Paper returns the full-scale parameters (very slow; provided for
+// completeness and documented in EXPERIMENTS.md).
+func Paper() Options {
+	o := Default()
+	o.Geometry = physics.FullGeometry()
+	o.Config = core.Default()
+	o.RowsPerChunk = 1000
+	o.VPPStride = 1
+	o.SpiceMCRuns = 10000
+	o.RetentionVPPLevels = []float64{2.5, 2.4, 2.3, 2.2, 2.1, 2.0, 1.9, 1.8, 1.7, 1.6, 1.5}
+	return o
+}
+
+// profiles resolves the module subset.
+func (o Options) profiles() []physics.ModuleProfile {
+	all := physics.Profiles()
+	if len(o.ModuleNames) == 0 {
+		return all
+	}
+	var out []physics.ModuleProfile
+	for _, name := range o.ModuleNames {
+		for _, p := range all {
+			if p.Name == name {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// vppLevels returns the swept voltages for a module, honoring the stride
+// while always keeping the endpoints.
+func (o Options) vppLevels(p physics.ModuleProfile) []float64 {
+	full := p.VPPLevels()
+	stride := o.VPPStride
+	if stride < 1 {
+		stride = 1
+	}
+	var out []float64
+	for i, v := range full {
+		if i%stride == 0 || i == len(full)-1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// selectVictims returns tested rows that have a usable aggressor pair.
+func selectVictims(t *core.Tester, o Options) []int {
+	var out []int
+	for _, r := range core.SelectRows(o.Geometry, o.Chunks, o.RowsPerChunk) {
+		if _, _, err := t.AggressorsFor(r); err == nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}

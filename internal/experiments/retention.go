@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/dramstudy/rhvpp/internal/core"
+	"github.com/dramstudy/rhvpp/internal/ecc"
+	"github.com/dramstudy/rhvpp/internal/infra"
+	"github.com/dramstudy/rhvpp/internal/pattern"
+	"github.com/dramstudy/rhvpp/internal/physics"
+	"github.com/dramstudy/rhvpp/internal/report"
+	"github.com/dramstudy/rhvpp/internal/stats"
+)
+
+// RetentionStudy is the Fig. 10 campaign: retention BER across refresh
+// windows and VPP levels, aggregated per manufacturer.
+type RetentionStudy struct {
+	WindowsMS []float64
+	VPP       []float64
+	// MeanBER[mfr][vppIdx][winIdx] is the mean BER across the rows of that
+	// manufacturer's modules (only modules whose VPPmin allows the level).
+	MeanBER map[physics.Manufacturer][][]float64
+	// RowBERAt4s[mfr][vppIdx] holds the per-row BER values at tREFW = 4s
+	// (the Fig. 10b populations).
+	RowBERAt4s map[physics.Manufacturer][][]float64
+}
+
+// RunRetentionStudy sweeps retention behavior per module at 80C.
+func RunRetentionStudy(o Options) (RetentionStudy, error) {
+	st := RetentionStudy{
+		WindowsMS:  o.Config.RetentionWindowsMS,
+		VPP:        o.RetentionVPPLevels,
+		MeanBER:    make(map[physics.Manufacturer][][]float64),
+		RowBERAt4s: make(map[physics.Manufacturer][][]float64),
+	}
+	idx4s := -1
+	for i, w := range st.WindowsMS {
+		if w == 4096 {
+			idx4s = i
+		}
+	}
+
+	type accum struct {
+		sum   [][]float64
+		count [][]int
+		rows  [][]float64
+	}
+	accums := make(map[physics.Manufacturer]*accum)
+	for _, mfr := range []physics.Manufacturer{physics.MfrA, physics.MfrB, physics.MfrC} {
+		a := &accum{}
+		a.sum = make([][]float64, len(st.VPP))
+		a.count = make([][]int, len(st.VPP))
+		a.rows = make([][]float64, len(st.VPP))
+		for i := range a.sum {
+			a.sum[i] = make([]float64, len(st.WindowsMS))
+			a.count[i] = make([]int, len(st.WindowsMS))
+		}
+		accums[mfr] = a
+	}
+
+	for _, prof := range o.profiles() {
+		tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
+		if err := tb.SetTemperature(physics.RetentionTestTempC); err != nil {
+			return st, err
+		}
+		tester := core.NewTester(tb.Controller, o.Config)
+		rows := core.SelectRows(o.Geometry, o.Chunks, o.RowsPerChunk)
+		a := accums[prof.Mfr]
+		for vi, vpp := range st.VPP {
+			if vpp < prof.VPPMin-1e-9 {
+				continue // module cannot operate here
+			}
+			if err := tb.SetVPP(vpp); err != nil {
+				return st, err
+			}
+			for _, row := range rows {
+				res, err := tester.RetentionSweep(row, pattern.CheckerAA)
+				if err != nil {
+					return st, fmt.Errorf("module %s row %d at %.1fV: %w", prof.Name, row, vpp, err)
+				}
+				for wi := range st.WindowsMS {
+					a.sum[vi][wi] += res.Points[wi].BER
+					a.count[vi][wi]++
+				}
+				if idx4s >= 0 {
+					a.rows[vi] = append(a.rows[vi], res.Points[idx4s].BER)
+				}
+			}
+		}
+	}
+
+	for mfr, a := range accums {
+		mean := make([][]float64, len(st.VPP))
+		for vi := range a.sum {
+			mean[vi] = make([]float64, len(st.WindowsMS))
+			for wi := range a.sum[vi] {
+				if a.count[vi][wi] > 0 {
+					mean[vi][wi] = a.sum[vi][wi] / float64(a.count[vi][wi])
+				}
+			}
+		}
+		st.MeanBER[mfr] = mean
+		st.RowBERAt4s[mfr] = a.rows
+	}
+	return st, nil
+}
+
+// RenderFig10a plots retention BER vs refresh window per manufacturer.
+func (st RetentionStudy) RenderFig10a(w io.Writer) error {
+	for _, mfr := range []physics.Manufacturer{physics.MfrA, physics.MfrB, physics.MfrC} {
+		plot := report.LinePlot{
+			Title:  fmt.Sprintf("Fig. 10a: retention BER vs refresh window - Mfr. %s", mfr),
+			XLabel: "log2(window ms)", YLabel: "BER", Width: 64, Height: 12,
+		}
+		mean, ok := st.MeanBER[mfr]
+		if !ok {
+			continue
+		}
+		for vi, vpp := range st.VPP {
+			s := report.Series{Name: fmt.Sprintf("%.1fV", vpp)}
+			for wi, win := range st.WindowsMS {
+				s.X = append(s.X, log2(win))
+				s.Y = append(s.Y, mean[vi][wi])
+			}
+			plot.Series = append(plot.Series, s)
+		}
+		if err := plot.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func log2(x float64) float64 {
+	n := 0.0
+	for x > 1 {
+		x /= 2
+		n++
+	}
+	return n
+}
+
+// RenderFig10b prints the mean per-row BER at tREFW = 4s per VPP level.
+func (st RetentionStudy) RenderFig10b(w io.Writer) error {
+	t := &report.Table{
+		Title:   "Fig. 10b: retention BER at tREFW = 4s (mean across rows)",
+		Headers: []string{"VPP", "Mfr A", "Mfr B", "Mfr C"},
+	}
+	for vi, vpp := range st.VPP {
+		row := []any{fmt.Sprintf("%.1f", vpp)}
+		for _, mfr := range []physics.Manufacturer{physics.MfrA, physics.MfrB, physics.MfrC} {
+			rows := st.RowBERAt4s[mfr]
+			if vi < len(rows) && len(rows[vi]) > 0 {
+				row = append(row, fmt.Sprintf("%.3f%%", stats.Mean(rows[vi])*100))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Add(row...)
+	}
+	return t.Render(w)
+}
+
+// WordAnalysis is the Fig. 11 study: the word-granularity structure of
+// retention failures at VPPmin for the smallest failing windows.
+type WordAnalysis struct {
+	// Distribution64 and Distribution128 map "number of single-flip words
+	// in a row" to the fraction of rows exhibiting it, per manufacturer,
+	// at the 64 ms and 128 ms windows (failures new at that window).
+	Distribution64  map[physics.Manufacturer]map[int]float64
+	Distribution128 map[physics.Manufacturer]map[int]float64
+	// SECDEDSafe reports that no word anywhere had more than one flip at
+	// its row's smallest failing window (Obsv. 14).
+	SECDEDSafe bool
+	// FracNeedingFastRefresh64/128 are the row fractions that would need
+	// the doubled refresh rate (paper: 16.4% and 5.0%).
+	FracNeedingFastRefresh64  float64
+	FracNeedingFastRefresh128 float64
+	// CleanModules64 counts modules with no failures at 64 ms (paper: 23).
+	CleanModules64 int
+	TotalModules   int
+}
+
+// RunWordAnalysis performs the Fig. 11 measurement through the controller.
+func RunWordAnalysis(o Options) (WordAnalysis, error) {
+	wa := WordAnalysis{
+		Distribution64:  map[physics.Manufacturer]map[int]float64{},
+		Distribution128: map[physics.Manufacturer]map[int]float64{},
+		SECDEDSafe:      true,
+	}
+	type mfrCount struct {
+		rows       int // rows in modules exhibiting 64ms failures
+		rows128    int // rows in modules exhibiting (new) 128ms failures
+		at64       map[int]int
+		at128      map[int]int
+		fail64     int
+		fail128New int
+	}
+	counts := map[physics.Manufacturer]*mfrCount{}
+	for _, mfr := range []physics.Manufacturer{physics.MfrA, physics.MfrB, physics.MfrC} {
+		counts[mfr] = &mfrCount{at64: map[int]int{}, at128: map[int]int{}}
+	}
+
+	const fill = 0xAA
+	for _, prof := range o.profiles() {
+		wa.TotalModules++
+		tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
+		if err := tb.SetTemperature(physics.RetentionTestTempC); err != nil {
+			return wa, err
+		}
+		if err := tb.SetVPP(prof.VPPMin); err != nil {
+			return wa, err
+		}
+		ctrl := tb.Controller
+		rows := core.SelectRows(o.Geometry, o.Chunks, o.RowsPerChunk)
+		mc := counts[prof.Mfr]
+		moduleClean64 := true
+
+		measure := func(row int, windowMS float64) (ecc.WordErrors, error) {
+			if err := ctrl.InitializeRow(0, row, fill); err != nil {
+				return ecc.WordErrors{}, err
+			}
+			if err := ctrl.WaitMS(windowMS); err != nil {
+				return ecc.WordErrors{}, err
+			}
+			data, err := ctrl.ReadRowSafe(0, row)
+			if err != nil {
+				return ecc.WordErrors{}, err
+			}
+			return ecc.AnalyzeRow(data, fill), nil
+		}
+
+		modClean128 := true
+		modAt64 := map[int]int{}
+		modAt128 := map[int]int{}
+		for _, row := range rows {
+			we64, err := measure(row, 64)
+			if err != nil {
+				return wa, err
+			}
+			if we64.WordsWithMultiFlips > 0 {
+				wa.SECDEDSafe = false
+			}
+			if we64.WordsWithOneFlip > 0 {
+				modAt64[we64.WordsWithOneFlip]++
+				moduleClean64 = false
+				continue // 128 ms tier counts only rows clean at 64 ms
+			}
+			we128, err := measure(row, 128)
+			if err != nil {
+				return wa, err
+			}
+			if we128.WordsWithMultiFlips > 0 {
+				wa.SECDEDSafe = false
+			}
+			if we128.WordsWithOneFlip > 0 {
+				modAt128[we128.WordsWithOneFlip]++
+				modClean128 = false
+			}
+		}
+		if moduleClean64 {
+			wa.CleanModules64++
+		}
+		// The Fig. 11 population is "rows in modules exhibiting flips at
+		// that window": only failing modules enter the denominators.
+		if !moduleClean64 {
+			mc.rows += len(rows)
+			for k, n := range modAt64 {
+				mc.at64[k] += n
+				mc.fail64 += n
+			}
+		}
+		if !modClean128 {
+			mc.rows128 += len(rows)
+			for k, n := range modAt128 {
+				mc.at128[k] += n
+				mc.fail128New += n
+			}
+		}
+	}
+
+	rows64, rows128, totalFail64, totalFail128 := 0, 0, 0, 0
+	for mfr, mc := range counts {
+		wa.Distribution64[mfr] = map[int]float64{}
+		wa.Distribution128[mfr] = map[int]float64{}
+		for k, n := range mc.at64 {
+			wa.Distribution64[mfr][k] = float64(n) / float64(mc.rows)
+		}
+		for k, n := range mc.at128 {
+			wa.Distribution128[mfr][k] = float64(n) / float64(mc.rows128)
+		}
+		rows64 += mc.rows
+		rows128 += mc.rows128
+		totalFail64 += mc.fail64
+		totalFail128 += mc.fail128New
+	}
+	if rows64 > 0 {
+		wa.FracNeedingFastRefresh64 = float64(totalFail64) / float64(rows64)
+	}
+	if rows128 > 0 {
+		wa.FracNeedingFastRefresh128 = float64(totalFail128) / float64(rows128)
+	}
+	return wa, nil
+}
+
+// RenderFig11 prints the word-error distributions.
+func (wa WordAnalysis) RenderFig11(w io.Writer) error {
+	render := func(title string, dist map[physics.Manufacturer]map[int]float64) error {
+		t := &report.Table{
+			Title:   title,
+			Headers: []string{"Mfr", "words with one flip", "fraction of rows"},
+		}
+		for _, mfr := range []physics.Manufacturer{physics.MfrA, physics.MfrB, physics.MfrC} {
+			keys := make([]int, 0, len(dist[mfr]))
+			for k := range dist[mfr] {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			if len(keys) == 0 {
+				t.Add(mfr.String(), "-", "0")
+				continue
+			}
+			for _, k := range keys {
+				t.Add(mfr.String(), k, fmt.Sprintf("%.4f", dist[mfr][k]))
+			}
+		}
+		return t.Render(w)
+	}
+	if err := render("Fig. 11a: erroneous 64-bit words per row at tREFW = 64ms (VPPmin)", wa.Distribution64); err != nil {
+		return err
+	}
+	if err := render("Fig. 11b: erroneous 64-bit words per row at tREFW = 128ms (VPPmin, rows clean at 64ms)", wa.Distribution128); err != nil {
+		return err
+	}
+	t := &report.Table{Title: "Obsv. 13-15 summary", Headers: []string{"metric", "measured", "paper"}}
+	t.Add("modules clean at 64ms", fmt.Sprintf("%d of %d", wa.CleanModules64, wa.TotalModules), "23 of 30")
+	t.Add("all failing words SECDED-correctable", wa.SECDEDSafe, "yes")
+	t.Add("rows needing 2x refresh @64ms", fmt.Sprintf("%.1f%%", wa.FracNeedingFastRefresh64*100), "16.4%")
+	t.Add("rows needing 2x refresh @128ms", fmt.Sprintf("%.1f%%", wa.FracNeedingFastRefresh128*100), "5.0%")
+	return t.Render(w)
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/dramstudy/rhvpp/internal/report"
+	"github.com/dramstudy/rhvpp/internal/spice"
+	"github.com/dramstudy/rhvpp/internal/stats"
+)
+
+// spiceSweepVPPs are the voltage levels of the paper's SPICE study
+// (1.7-2.5 V in 0.1 V steps for the distributions; waveforms show the same
+// range).
+var spiceSweepVPPs = []float64{2.5, 2.4, 2.3, 2.2, 2.1, 2.0, 1.9, 1.8, 1.7}
+
+// Table2 prints the SPICE netlist parameters.
+func Table2(w io.Writer) error {
+	p := spice.DefaultCellParams(2.5)
+	t := &report.Table{
+		Title:   "Table 2: key parameters used in SPICE simulations",
+		Headers: []string{"component", "parameters"},
+	}
+	t.Add("DRAM Cell", fmt.Sprintf("C: %.1f fF, R: %.0f Ohm", p.CellC*1e15, p.CellR))
+	t.Add("Bitline", fmt.Sprintf("C: %.1f fF, R: %.0f Ohm", p.BLC*1e15, p.BLR))
+	t.Add("Cell Access NMOS", fmt.Sprintf("W: %.0f nm, L: %.0f nm", p.Access.W*1e9, p.Access.L*1e9))
+	t.Add("Sense Amp. NMOS", fmt.Sprintf("W: %.1f um, L: %.1f um", p.SAN1.W*1e6, p.SAN1.L*1e6))
+	t.Add("Sense Amp. PMOS", fmt.Sprintf("W: %.1f um, L: %.1f um", p.SAP1.W*1e6, p.SAP1.L*1e6))
+	return t.Render(w)
+}
+
+// Waveforms holds the Fig. 8a / 9a transient traces per VPP level.
+type Waveforms struct {
+	VPP []float64
+	// Bitline[i] and Cell[i] are the traces for VPP[i]; Times is shared.
+	Times   [][]float64
+	Bitline [][]float64
+	Cell    [][]float64
+}
+
+// RunWaveforms simulates the activation waveform at each VPP level.
+func RunWaveforms() (Waveforms, error) {
+	var wf Waveforms
+	for _, vpp := range spiceSweepVPPs {
+		var ts, bl, cell []float64
+		p := spice.DefaultCellParams(vpp)
+		p.MaxNS = 100
+		if _, err := spice.SimulateActivation(p, func(tNS, vbl, vcell float64) {
+			ts = append(ts, tNS)
+			bl = append(bl, vbl)
+			cell = append(cell, vcell)
+		}); err != nil {
+			return wf, fmt.Errorf("waveform at %.1fV: %w", vpp, err)
+		}
+		wf.VPP = append(wf.VPP, vpp)
+		wf.Times = append(wf.Times, ts)
+		wf.Bitline = append(wf.Bitline, bl)
+		wf.Cell = append(wf.Cell, cell)
+	}
+	return wf, nil
+}
+
+// RenderFig8a plots the bitline voltage during activation.
+func (wf Waveforms) RenderFig8a(w io.Writer) error {
+	return wf.render(w, "Fig. 8a: bitline voltage during row activation (VTH = 1.08V)", wf.Bitline, 40)
+}
+
+// RenderFig9a plots the cell capacitor voltage during restoration.
+func (wf Waveforms) RenderFig9a(w io.Writer) error {
+	return wf.render(w, "Fig. 9a: cell capacitor voltage during charge restoration", wf.Cell, 100)
+}
+
+func (wf Waveforms) render(w io.Writer, title string, traces [][]float64, maxNS float64) error {
+	plot := report.LinePlot{Title: title, XLabel: "time (ns)", YLabel: "V", Width: 70, Height: 14}
+	for i, vpp := range wf.VPP {
+		if i%2 == 1 {
+			continue // subsample the legend for readability
+		}
+		s := report.Series{Name: fmt.Sprintf("VPP=%.1fV", vpp)}
+		for j, t := range wf.Times[i] {
+			if t > maxNS {
+				break
+			}
+			if j%8 == 0 {
+				s.X = append(s.X, t)
+				s.Y = append(s.Y, traces[i][j])
+			}
+		}
+		plot.Series = append(plot.Series, s)
+	}
+	return plot.Render(w)
+}
+
+// MCStudy is the Fig. 8b / 9b Monte-Carlo campaign.
+type MCStudy struct {
+	Results []spice.MCResult
+}
+
+// RunMCStudy executes the Monte-Carlo sweep (runs per level from Options).
+func RunMCStudy(o Options) (MCStudy, error) {
+	var st MCStudy
+	for _, vpp := range spiceSweepVPPs {
+		r, err := spice.MonteCarlo(vpp, o.SpiceMCRuns, o.Seed, 0.05)
+		if err != nil {
+			return st, err
+		}
+		st.Results = append(st.Results, r)
+	}
+	return st, nil
+}
+
+// RenderFig8b prints the tRCDmin distribution per VPP level.
+func (st MCStudy) RenderFig8b(w io.Writer) error {
+	t := &report.Table{
+		Title:   "Fig. 8b: minimum reliable activation latency distribution (Monte Carlo)",
+		Headers: []string{"VPP", "mean tRCDmin (ns)", "P95", "worst", "reliable runs"},
+	}
+	for _, r := range st.Results {
+		p95, _ := stats.Percentile(r.TRCDminNS, 95)
+		t.Add(fmt.Sprintf("%.1f", r.VPP), fmt.Sprintf("%.2f", r.MeanTRCDminNS()),
+			fmt.Sprintf("%.2f", p95), fmt.Sprintf("%.2f", r.WorstTRCDminNS()),
+			fmt.Sprintf("%.1f%%", r.ReliableFraction()*100))
+	}
+	return t.Render(w)
+}
+
+// RenderFig9b prints the tRASmin distribution per VPP level.
+func (st MCStudy) RenderFig9b(w io.Writer) error {
+	t := &report.Table{
+		Title:   "Fig. 9b: minimum reliable charge restoration latency distribution (Monte Carlo, nominal tRAS = 35ns)",
+		Headers: []string{"VPP", "mean tRASmin (ns)", "P95", "worst", "restored runs"},
+	}
+	for _, r := range st.Results {
+		mean, worst := 0.0, 0.0
+		for _, v := range r.TRASminNS {
+			mean += v
+			if v > worst {
+				worst = v
+			}
+		}
+		if len(r.TRASminNS) > 0 {
+			mean /= float64(len(r.TRASminNS))
+		}
+		p95, _ := stats.Percentile(r.TRASminNS, 95)
+		restored := float64(len(r.TRASminNS)) / float64(r.Runs) * 100
+		t.Add(fmt.Sprintf("%.1f", r.VPP), fmt.Sprintf("%.2f", mean),
+			fmt.Sprintf("%.2f", p95), fmt.Sprintf("%.2f", worst),
+			fmt.Sprintf("%.1f%%", restored))
+	}
+	return t.Render(w)
+}

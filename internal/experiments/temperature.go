@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/dramstudy/rhvpp/internal/core"
+	"github.com/dramstudy/rhvpp/internal/infra"
+	"github.com/dramstudy/rhvpp/internal/physics"
+	"github.com/dramstudy/rhvpp/internal/report"
+	"github.com/dramstudy/rhvpp/internal/stats"
+)
+
+// TempInteraction is the paper's §7 future-work study: the three-way
+// interaction between VPP, temperature, and RowHammer. For each (VPP,
+// temperature) cell it records the module-level HCfirst and mean BER, plus
+// the per-row normalized HCfirst spread across temperature at fixed VPP.
+type TempInteraction struct {
+	Module string
+	Temps  []float64
+	VPPs   []float64
+	// HCFirst[t][v] and BER[t][v] are module-level values per grid cell.
+	HCFirst [][]float64
+	BER     [][]float64
+	// RowTempSpread is the per-row normalized HCfirst at the hottest
+	// temperature relative to 50C (at nominal VPP): the row-level
+	// temperature response population.
+	RowTempSpread []float64
+}
+
+// RunTempInteraction measures the VPP x temperature grid on one module.
+// RowHammer tests normally run at 50C (the paper's §4.1 condition); this
+// experiment extends them across the DDR4 operating range.
+func RunTempInteraction(o Options, moduleName string, temps []float64) (TempInteraction, error) {
+	prof, ok := physics.ProfileByName(moduleName)
+	if !ok {
+		return TempInteraction{}, fmt.Errorf("unknown module %s", moduleName)
+	}
+	if len(temps) == 0 {
+		temps = []float64{50, 65, 80}
+	}
+	tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
+	tester := core.NewTester(tb.Controller, o.Config)
+	rows := selectVictims(tester, o)
+	ti := TempInteraction{
+		Module: moduleName,
+		Temps:  temps,
+		VPPs:   []float64{physics.VPPNominal, prof.VPPMin},
+	}
+
+	rowHCAt := make(map[float64][]float64) // temp -> per-row HCfirst at nominal VPP
+	for _, temp := range temps {
+		if err := tb.SetTemperature(temp); err != nil {
+			return ti, err
+		}
+		var hcRow, berRow []float64
+		var gridHC, gridBER []float64
+		for _, vpp := range ti.VPPs {
+			if err := tb.SetVPP(vpp); err != nil {
+				return ti, err
+			}
+			hcRow, berRow = hcRow[:0], berRow[:0]
+			for _, row := range rows {
+				res, err := tester.CharacterizeRow(row, 0)
+				if err != nil {
+					return ti, err
+				}
+				hcRow = append(hcRow, float64(res.HCFirst))
+				berRow = append(berRow, res.BER)
+			}
+			min, _ := stats.Min(hcRow)
+			gridHC = append(gridHC, min)
+			gridBER = append(gridBER, stats.Mean(berRow))
+			if vpp == physics.VPPNominal {
+				rowHCAt[temp] = append([]float64(nil), hcRow...)
+			}
+		}
+		ti.HCFirst = append(ti.HCFirst, gridHC)
+		ti.BER = append(ti.BER, gridBER)
+	}
+
+	base := rowHCAt[temps[0]]
+	hot := rowHCAt[temps[len(temps)-1]]
+	for i := range base {
+		if i < len(hot) && base[i] > 0 {
+			ti.RowTempSpread = append(ti.RowTempSpread, hot[i]/base[i])
+		}
+	}
+	return ti, nil
+}
+
+// Render prints the interaction grid.
+func (ti TempInteraction) Render(w io.Writer) error {
+	t := &report.Table{
+		Title: fmt.Sprintf("Extension: VPP x temperature x RowHammer on %s (paper §7 future work)",
+			ti.Module),
+		Headers: []string{"temp (C)", "VPP (V)", "module HCfirst", "mean BER"},
+	}
+	for tiIdx, temp := range ti.Temps {
+		for vi, vpp := range ti.VPPs {
+			t.Add(temp, vpp, ti.HCFirst[tiIdx][vi], fmt.Sprintf("%.2e", ti.BER[tiIdx][vi]))
+		}
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if len(ti.RowTempSpread) > 0 {
+		s, err := stats.Summarize(ti.RowTempSpread)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "per-row HCfirst at %.0fC normalized to %.0fC (nominal VPP): mean %.3f, min %.3f, max %.3f\n",
+			ti.Temps[len(ti.Temps)-1], ti.Temps[0], s.Mean, s.Min, s.Max)
+		fmt.Fprintf(w, "(temperature moves individual rows in both directions, like VPP does)\n")
+	}
+	return nil
+}

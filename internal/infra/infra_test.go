@@ -1,0 +1,158 @@
+package infra
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/dram"
+	"github.com/dramstudy/rhvpp/internal/mapping"
+	"github.com/dramstudy/rhvpp/internal/physics"
+)
+
+func testGeometry() physics.Geometry {
+	return physics.Geometry{Banks: 2, RowsPerBank: 2048, RowBytes: 512, SubarrayRows: 512}
+}
+
+func newBed(t *testing.T, name string) *Testbed {
+	t.Helper()
+	p, ok := physics.ProfileByName(name)
+	if !ok {
+		t.Fatalf("no profile %s", name)
+	}
+	return NewTestbed(p, testGeometry(), 3)
+}
+
+func TestSupplyRequiresAttachAndShunt(t *testing.T) {
+	var ps PowerSupply
+	if err := ps.SetVoltage(2.5); !errors.Is(err, ErrNoModule) {
+		t.Errorf("unattached supply err = %v", err)
+	}
+	p, _ := physics.ProfileByName("A3")
+	mod := dram.NewModule(p, testGeometry(), 1)
+	ps.Attach(mod)
+	if err := ps.SetVoltage(2.5); !errors.Is(err, ErrShuntInstalled) {
+		t.Errorf("shunted supply err = %v", err)
+	}
+	ps.enable()
+	if err := ps.SetVoltage(2.5); err != nil {
+		t.Errorf("enabled supply err = %v", err)
+	}
+}
+
+func TestSupplyRangeAndQuantization(t *testing.T) {
+	tb := newBed(t, "A3")
+	if err := tb.Supply.SetVoltage(0.2); !errors.Is(err, ErrVoltageRange) {
+		t.Errorf("low setpoint err = %v", err)
+	}
+	if err := tb.Supply.SetVoltage(3.5); !errors.Is(err, ErrVoltageRange) {
+		t.Errorf("high setpoint err = %v", err)
+	}
+	if err := tb.Supply.SetVoltage(2.1997); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Supply.Voltage(); got != 2.2 {
+		t.Errorf("setpoint = %v, want 2.2 (1mV resolution)", got)
+	}
+	if got := tb.Module.VPP(); got != 2.2 {
+		t.Errorf("module VPP = %v, want 2.2", got)
+	}
+}
+
+func TestSupplyCurrentModel(t *testing.T) {
+	tb := newBed(t, "A3")
+	if err := tb.SetVPP(2.5); err != nil {
+		t.Fatal(err)
+	}
+	hi := tb.Supply.ReadCurrentMA()
+	if err := tb.SetVPP(1.8); err != nil {
+		t.Fatal(err)
+	}
+	lo := tb.Supply.ReadCurrentMA()
+	if hi <= lo || lo <= 0 {
+		t.Errorf("current model: %.2fmA at 2.5V vs %.2fmA at 1.8V", hi, lo)
+	}
+	if err := tb.SetVPP(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Supply.ReadCurrentMA(); got != 0 {
+		t.Errorf("current with dead module = %v, want 0", got)
+	}
+}
+
+func TestThermalSettlesAtTargets(t *testing.T) {
+	tb := newBed(t, "A3")
+	// NewTestbed settles at the RowHammer test temperature.
+	if got := tb.Thermal.Temperature(); math.Abs(got-physics.RowHammerTestTempC) > 0.1 {
+		t.Errorf("initial regulated temperature = %v, want 50±0.1", got)
+	}
+	if err := tb.SetTemperature(physics.RetentionTestTempC); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Thermal.Temperature(); math.Abs(got-80) > 0.1 {
+		t.Errorf("temperature after retarget = %v, want 80±0.1", got)
+	}
+	if got := tb.Module.Temperature(); math.Abs(got-80) > 0.1 {
+		t.Errorf("module temperature = %v, want 80±0.1", got)
+	}
+}
+
+func TestDiscoverVPPmin(t *testing.T) {
+	for _, name := range []string{"A3", "B3", "A5"} {
+		tb := newBed(t, name)
+		got, err := tb.DiscoverVPPmin()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := tb.Module.Profile().VPPMin
+		if math.Abs(got-want) > 0.051 {
+			t.Errorf("%s: discovered VPPmin %v, want %v", name, got, want)
+		}
+		if !tb.Module.Responds() {
+			t.Errorf("%s: module left unresponsive after discovery", name)
+		}
+	}
+}
+
+func TestInterposer(t *testing.T) {
+	var ip Interposer
+	if ip.ShuntRemoved() {
+		t.Error("new interposer reports shunt removed")
+	}
+	ip.RemoveShunt()
+	if !ip.ShuntRemoved() {
+		t.Error("RemoveShunt did not take effect")
+	}
+}
+
+func TestReverseEngineerAdjacencyEndToEnd(t *testing.T) {
+	p, _ := physics.ProfileByName("B0")
+	tb := NewTestbed(p, testGeometry(), 3, dram.WithScheme(mapping.PairSwap{}))
+	mod := tb.Module
+
+	window := make([]int, 24)
+	for i := range window {
+		window[i] = 64 + i
+	}
+	// Single-sided probing needs ~HCfirst/SingleSidedWeight activations;
+	// use a strong margin.
+	adj, err := tb.ReverseEngineerAdjacency(window, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check an interior victim: logical 70 -> physical 71 under PairSwap;
+	// physical neighbors 70, 72 -> logical 68? No: PhysicalToLogical(70)=71? Use scheme.
+	sch := mod.Scheme()
+	victim := window[8]
+	ns, err := adj.Neighbors(victim)
+	if err != nil {
+		t.Fatalf("victim %d: %v", victim, err)
+	}
+	pv := sch.LogicalToPhysical(victim)
+	for _, n := range ns {
+		pn := sch.LogicalToPhysical(n)
+		if pn != pv-1 && pn != pv+1 {
+			t.Errorf("aggressor %d (phys %d) not adjacent to victim %d (phys %d)", n, pn, victim, pv)
+		}
+	}
+}

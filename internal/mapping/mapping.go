@@ -1,0 +1,222 @@
+// Package mapping implements DRAM-internal address translation between the
+// logical row addresses exposed on the DDR4 interface and the physical row
+// locations inside the die, plus the hammer-probing reverse-engineering
+// technique the paper uses to locate each victim's physically adjacent
+// aggressor rows (§4.2 "Finding Physically Adjacent Rows").
+//
+// Manufacturers scramble row addresses for post-manufacturing repair and
+// cost-optimized internal organization; the scheme varies across vendors and
+// generations. The schemes here are representative bijections in the spirit
+// of those documented by prior reverse-engineering work; the
+// characterization flow never assumes a scheme — it probes.
+package mapping
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/dramstudy/rhvpp/internal/physics"
+)
+
+// Scheme is a bijective translation between logical and physical row
+// addresses within a bank. Implementations must be pure and total over
+// [0, rows).
+type Scheme interface {
+	// Name identifies the scheme for reports.
+	Name() string
+	// LogicalToPhysical translates an interface row address to its
+	// physical location.
+	LogicalToPhysical(row int) int
+	// PhysicalToLogical is the inverse translation.
+	PhysicalToLogical(row int) int
+}
+
+// Direct is the identity mapping (no in-DRAM scrambling).
+type Direct struct{}
+
+// Name implements Scheme.
+func (Direct) Name() string { return "direct" }
+
+// LogicalToPhysical implements Scheme.
+func (Direct) LogicalToPhysical(row int) int { return row }
+
+// PhysicalToLogical implements Scheme.
+func (Direct) PhysicalToLogical(row int) int { return row }
+
+// PairSwap swaps the upper two rows of every naturally aligned group of
+// four: logical offsets 0,1,2,3 map to physical 0,1,3,2. This mirrors the
+// "±1 swap" style scrambling documented for some vendors. The mapping is an
+// involution (its own inverse).
+type PairSwap struct{}
+
+// Name implements Scheme.
+func (PairSwap) Name() string { return "pairswap" }
+
+// LogicalToPhysical implements Scheme.
+func (PairSwap) LogicalToPhysical(row int) int {
+	switch row & 3 {
+	case 2:
+		return row + 1
+	case 3:
+		return row - 1
+	default:
+		return row
+	}
+}
+
+// PhysicalToLogical implements Scheme.
+func (p PairSwap) PhysicalToLogical(row int) int { return p.LogicalToPhysical(row) }
+
+// HalfMirror reverses the order of the upper half of every naturally
+// aligned block of Block rows, modeling the mirrored row decoders of
+// twisted-layout subarrays. Block must be a positive even number; the
+// mapping is an involution.
+type HalfMirror struct {
+	// Block is the mirroring block size in rows.
+	Block int
+}
+
+// Name implements Scheme.
+func (h HalfMirror) Name() string { return fmt.Sprintf("halfmirror-%d", h.Block) }
+
+// LogicalToPhysical implements Scheme.
+func (h HalfMirror) LogicalToPhysical(row int) int {
+	b := h.Block
+	if b < 2 {
+		return row
+	}
+	base := row - row%b
+	off := row % b
+	if off < b/2 {
+		return row
+	}
+	// Reverse the upper half: off in [b/2, b) maps to (3b/2 - 1) - off,
+	// which stays inside [b/2, b).
+	return base + (3*b/2 - 1) - off
+}
+
+// PhysicalToLogical implements Scheme.
+func (h HalfMirror) PhysicalToLogical(row int) int { return h.LogicalToPhysical(row) }
+
+// DefaultFor returns the representative scrambling scheme used for a
+// manufacturer's modules in this simulation.
+func DefaultFor(m physics.Manufacturer) Scheme {
+	switch m {
+	case physics.MfrA:
+		return HalfMirror{Block: 8}
+	case physics.MfrB:
+		return PairSwap{}
+	default:
+		return Direct{}
+	}
+}
+
+// ErrNoNeighbors is returned by Neighbors when probing found no aggressor
+// rows for a victim (e.g. the victim sits at a subarray boundary and only
+// one side exists, or probing used too low a hammer count).
+var ErrNoNeighbors = errors.New("mapping: no aggressor rows found for victim")
+
+// Prober is the probing capability reverse engineering needs: hammer one
+// logical row and report which logical rows in the candidate set experienced
+// bit flips. The softmc controller implements this against the simulated
+// device; against real hardware it would be a SoftMC program.
+type Prober interface {
+	// HammerObserveVictims initializes the candidate rows, hammers the
+	// given logical row count times (single-sided), and returns the logical
+	// addresses among candidates that exhibited bit flips.
+	HammerObserveVictims(aggressor int, count int, candidates []int) ([]int, error)
+}
+
+// AdjacencyMap records, for each probed victim row, the logical addresses of
+// its physically adjacent rows (one or two).
+type AdjacencyMap map[int][]int
+
+// Neighbors returns the aggressor pair for a victim, failing if the victim
+// was not resolved during probing.
+func (a AdjacencyMap) Neighbors(victim int) ([]int, error) {
+	ns, ok := a[victim]
+	if !ok || len(ns) == 0 {
+		return nil, ErrNoNeighbors
+	}
+	return ns, nil
+}
+
+// ReverseEngineer discovers physical adjacency for every row in a window of
+// logical addresses, exactly as prior work does on real devices: each row is
+// hammered single-sided with an escalating activation count, and every
+// victim records the smallest count ("onset") at which each aggressor
+// flipped it. Because immediate neighbors receive several times the
+// disturbance of distance-two rows, an aggressor whose onset is more than
+// twice a victim's minimum onset is classified as non-adjacent. maxCount
+// bounds the escalation and must comfortably exceed the module's HCfirst
+// divided by the single-sided effectiveness for the strongest tested row.
+func ReverseEngineer(p Prober, window []int, maxCount int) (AdjacencyMap, error) {
+	if maxCount < 64 {
+		return nil, errors.New("mapping: maxCount too small to probe")
+	}
+	onset := make(map[int]map[int]int, len(window)) // victim -> aggressor -> count
+	for count := maxCount / 64; count <= maxCount; count *= 2 {
+		for _, agg := range window {
+			victims, err := p.HammerObserveVictims(agg, count, window)
+			if err != nil {
+				return nil, fmt.Errorf("probing aggressor %d at %d: %w", agg, count, err)
+			}
+			for _, v := range victims {
+				if v == agg {
+					continue
+				}
+				if onset[v] == nil {
+					onset[v] = make(map[int]int, 4)
+				}
+				if _, seen := onset[v][agg]; !seen {
+					onset[v][agg] = count
+				}
+			}
+		}
+	}
+	adj := make(AdjacencyMap, len(onset))
+	for v, aggs := range onset {
+		min := 0
+		for _, c := range aggs {
+			if min == 0 || c < min {
+				min = c
+			}
+		}
+		for agg, c := range aggs {
+			if c <= 2*min {
+				adj[v] = appendUnique(adj[v], agg)
+			}
+		}
+	}
+	return adj, nil
+}
+
+func appendUnique(xs []int, x int) []int {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+// Verify checks that a scheme is a bijection over [0, rows) and that the
+// two directions are mutually inverse. It returns an error naming the first
+// violating address.
+func Verify(s Scheme, rows int) error {
+	seen := make([]bool, rows)
+	for l := 0; l < rows; l++ {
+		p := s.LogicalToPhysical(l)
+		if p < 0 || p >= rows {
+			return fmt.Errorf("mapping: %s maps row %d out of range (%d)", s.Name(), l, p)
+		}
+		if seen[p] {
+			return fmt.Errorf("mapping: %s maps two rows to physical %d", s.Name(), p)
+		}
+		seen[p] = true
+		if back := s.PhysicalToLogical(p); back != l {
+			return fmt.Errorf("mapping: %s inverse broken at %d -> %d -> %d", s.Name(), l, p, back)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package mapping
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/dramstudy/rhvpp/internal/physics"
+)
+
+func TestSchemesAreBijections(t *testing.T) {
+	schemes := []Scheme{
+		Direct{},
+		PairSwap{},
+		HalfMirror{Block: 8},
+		HalfMirror{Block: 16},
+		HalfMirror{Block: 2},
+	}
+	for _, s := range schemes {
+		if err := Verify(s, 4096); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestDirect(t *testing.T) {
+	d := Direct{}
+	for _, r := range []int{0, 1, 17, 4095} {
+		if d.LogicalToPhysical(r) != r || d.PhysicalToLogical(r) != r {
+			t.Errorf("Direct not identity at %d", r)
+		}
+	}
+}
+
+func TestPairSwap(t *testing.T) {
+	p := PairSwap{}
+	tests := []struct{ l, want int }{
+		{0, 0}, {1, 1}, {2, 3}, {3, 2},
+		{4, 4}, {5, 5}, {6, 7}, {7, 6},
+	}
+	for _, tt := range tests {
+		if got := p.LogicalToPhysical(tt.l); got != tt.want {
+			t.Errorf("PairSwap(%d) = %d, want %d", tt.l, got, tt.want)
+		}
+	}
+}
+
+func TestHalfMirror(t *testing.T) {
+	h := HalfMirror{Block: 8}
+	// Lower half identity, upper half reversed: 4,5,6,7 -> 7,6,5,4.
+	tests := []struct{ l, want int }{
+		{0, 0}, {3, 3}, {4, 7}, {5, 6}, {6, 5}, {7, 4},
+		{8, 8}, {12, 15}, {15, 12},
+	}
+	for _, tt := range tests {
+		if got := h.LogicalToPhysical(tt.l); got != tt.want {
+			t.Errorf("HalfMirror(%d) = %d, want %d", tt.l, got, tt.want)
+		}
+	}
+}
+
+func TestHalfMirrorDegenerateBlock(t *testing.T) {
+	h := HalfMirror{Block: 0}
+	if h.LogicalToPhysical(5) != 5 {
+		t.Error("degenerate block should behave as identity")
+	}
+}
+
+func TestDefaultFor(t *testing.T) {
+	if DefaultFor(physics.MfrA).Name() != "halfmirror-8" {
+		t.Error("MfrA default wrong")
+	}
+	if DefaultFor(physics.MfrB).Name() != "pairswap" {
+		t.Error("MfrB default wrong")
+	}
+	if DefaultFor(physics.MfrC).Name() != "direct" {
+		t.Error("MfrC default wrong")
+	}
+}
+
+func TestVerifyCatchesBrokenScheme(t *testing.T) {
+	if err := Verify(constScheme{}, 8); err == nil {
+		t.Error("Verify accepted a non-bijective scheme")
+	}
+}
+
+type constScheme struct{}
+
+func (constScheme) Name() string                { return "const" }
+func (constScheme) LogicalToPhysical(int) int   { return 0 }
+func (constScheme) PhysicalToLogical(r int) int { return r }
+
+// fakeProber simulates probing against a known scheme: hammering logical
+// aggressor a flips physically adjacent rows once count reaches the flip
+// threshold, and distance-two rows at 4.4x that count (mirroring the real
+// single-sided vs distance-two disturbance ratio).
+type fakeProber struct {
+	s         Scheme
+	rows      int
+	threshold int
+}
+
+func (f fakeProber) HammerObserveVictims(agg, count int, candidates []int) ([]int, error) {
+	inCand := map[int]bool{}
+	for _, c := range candidates {
+		inCand[c] = true
+	}
+	phys := f.s.LogicalToPhysical(agg)
+	var victims []int
+	add := func(pn int, need int) {
+		if pn < 0 || pn >= f.rows || count < need {
+			return
+		}
+		l := f.s.PhysicalToLogical(pn)
+		if inCand[l] {
+			victims = append(victims, l)
+		}
+	}
+	add(phys-1, f.threshold)
+	add(phys+1, f.threshold)
+	add(phys-2, f.threshold*44/10)
+	add(phys+2, f.threshold*44/10)
+	return victims, nil
+}
+
+func TestReverseEngineerRecoversAdjacency(t *testing.T) {
+	for _, s := range []Scheme{Direct{}, PairSwap{}, HalfMirror{Block: 8}} {
+		p := fakeProber{s: s, rows: 64, threshold: 1000}
+		window := make([]int, 32)
+		for i := range window {
+			window[i] = i
+		}
+		adj, err := ReverseEngineer(p, window, 128000)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		// Every victim's discovered aggressors must be physically adjacent,
+		// and victims whose both physical neighbors map inside the window
+		// must have exactly two.
+		inWindow := map[int]bool{}
+		for _, w := range window {
+			inWindow[w] = true
+		}
+		for _, v := range window[2 : len(window)-2] {
+			ns, err := adj.Neighbors(v)
+			if err != nil {
+				t.Fatalf("%s: victim %d: %v", s.Name(), v, err)
+			}
+			pv := s.LogicalToPhysical(v)
+			for _, n := range ns {
+				pn := s.LogicalToPhysical(n)
+				if pn != pv-1 && pn != pv+1 {
+					t.Errorf("%s: victim %d: aggressor %d not physically adjacent (%d vs %d)",
+						s.Name(), v, n, pn, pv)
+				}
+			}
+			wantTwo := inWindow[s.PhysicalToLogical(pv-1)] && inWindow[s.PhysicalToLogical(pv+1)]
+			if wantTwo && len(ns) != 2 {
+				t.Errorf("%s: victim %d has %d aggressors, want 2", s.Name(), v, len(ns))
+			}
+		}
+	}
+}
+
+func TestReverseEngineerTooWeak(t *testing.T) {
+	// A probing budget below every row's flip threshold resolves nothing.
+	p := fakeProber{s: Direct{}, rows: 64, threshold: 1 << 30}
+	adj, err := ReverseEngineer(p, []int{1, 2, 3}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adj.Neighbors(2); !errors.Is(err, ErrNoNeighbors) {
+		t.Errorf("want ErrNoNeighbors, got %v", err)
+	}
+}
+
+func TestReverseEngineerRejectsTinyBudget(t *testing.T) {
+	p := fakeProber{s: Direct{}, rows: 64, threshold: 1}
+	if _, err := ReverseEngineer(p, []int{1, 2}, 10); err == nil {
+		t.Error("maxCount below the escalation floor accepted")
+	}
+}
+
+func TestReverseEngineerExcludesDistanceTwo(t *testing.T) {
+	p := fakeProber{s: Direct{}, rows: 64, threshold: 1000}
+	window := make([]int, 16)
+	for i := range window {
+		window[i] = 8 + i
+	}
+	adj, err := ReverseEngineer(p, window, 128000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := adj.Neighbors(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range ns {
+		if n != 15 && n != 17 {
+			t.Errorf("victim 16: distance-two aggressor %d not filtered", n)
+		}
+	}
+	if len(ns) != 2 {
+		t.Errorf("victim 16 has %d aggressors, want 2", len(ns))
+	}
+}
+
+func TestQuickInvolutionSchemes(t *testing.T) {
+	f := func(r uint16) bool {
+		row := int(r)
+		ps := PairSwap{}
+		hm := HalfMirror{Block: 16}
+		return ps.LogicalToPhysical(ps.LogicalToPhysical(row)) == row &&
+			hm.LogicalToPhysical(hm.LogicalToPhysical(row)) == row
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

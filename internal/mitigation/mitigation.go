@@ -1,0 +1,114 @@
+// Package mitigation implements the operating policies the paper's findings
+// enable (§8 "Finding Optimal Wordline Voltage"): the recommended-VPP
+// selection behind Table 3's right-most columns, rank-level SECDED ECC
+// deployment over the simulated module, selective double-rate refresh for
+// the small fraction of retention-weak rows (Obsv. 15), and two
+// reference RowHammer defenses (PARA and a Graphene-style counter tracker)
+// whose provisioning scales with HCfirst(VPP) for the defense-cost
+// ablations.
+package mitigation
+
+import (
+	"errors"
+	"math"
+)
+
+// RecommendVPP implements the Table 3 operating-point policy: choose the
+// VPP maximizing the module's HCfirst (hardest to hammer), breaking ties by
+// the lower BER and then by the lower voltage. The three slices are
+// parallel; it returns the chosen voltage and its index.
+func RecommendVPP(vpps, hcFirst, ber []float64) (float64, int, error) {
+	if len(vpps) == 0 || len(vpps) != len(hcFirst) || len(vpps) != len(ber) {
+		return 0, 0, errors.New("mitigation: mismatched sweep slices")
+	}
+	best := 0
+	for i := 1; i < len(vpps); i++ {
+		switch {
+		case hcFirst[i] > hcFirst[best]:
+			best = i
+		case hcFirst[i] == hcFirst[best] && ber[i] < ber[best]:
+			best = i
+		case hcFirst[i] == hcFirst[best] && ber[i] == ber[best] && vpps[i] < vpps[best]:
+			best = i
+		}
+	}
+	return vpps[best], best, nil
+}
+
+// PARA is the probabilistic adjacent-row-activation defense: each activation
+// refreshes the aggressor's neighbors with probability P.
+type PARA struct {
+	// P is the per-activation refresh probability.
+	P float64
+}
+
+// FailureProbability returns the probability that an attacker completes
+// hcFirst activations of an aggressor without any neighbor refresh, i.e.
+// (1-P)^hcFirst — the probability a RowHammer attack defeats PARA.
+func (p PARA) FailureProbability(hcFirst float64) float64 {
+	if p.P <= 0 {
+		return 1
+	}
+	if p.P >= 1 {
+		return 0
+	}
+	return math.Exp(hcFirst * math.Log(1-p.P))
+}
+
+// RequiredP returns the smallest refresh probability that bounds the attack
+// success probability by target for a device with the given HCfirst. Larger
+// HCfirst (e.g. from reduced VPP) lets PARA run with a smaller P and hence
+// lower refresh overhead — the quantitative win of Takeaway 1.
+func RequiredP(hcFirst, target float64) (float64, error) {
+	if hcFirst <= 0 || target <= 0 || target >= 1 {
+		return 0, errors.New("mitigation: invalid PARA sizing inputs")
+	}
+	return 1 - math.Exp(math.Log(target)/hcFirst), nil
+}
+
+// Graphene is a Misra-Gries heavy-hitter tracker sized to catch every row
+// whose activation count within a refresh window could reach the hammer
+// threshold.
+type Graphene struct {
+	threshold int
+	counts    map[int]int
+	spill     int
+}
+
+// NewGraphene builds a tracker that flags rows before they reach threshold
+// activations.
+func NewGraphene(threshold int) *Graphene {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Graphene{threshold: threshold, counts: make(map[int]int)}
+}
+
+// CountersRequired returns the number of Misra-Gries counters needed to
+// guarantee detection: activationsPerWindow / threshold (the Graphene sizing
+// rule). Higher HCfirst at reduced VPP shrinks the table.
+func CountersRequired(activationsPerWindow, hcFirst float64, safetyDiv float64) int {
+	if hcFirst <= 0 || safetyDiv <= 0 {
+		return 0
+	}
+	threshold := hcFirst / safetyDiv
+	if threshold < 1 {
+		threshold = 1
+	}
+	return int(math.Ceil(activationsPerWindow / threshold))
+}
+
+// Observe feeds one activation of a row; it returns true when the row
+// crossed the threshold and must have its neighbors refreshed (the caller
+// resets tracking for that row via Reset).
+func (g *Graphene) Observe(row int) bool {
+	g.counts[row]++
+	return g.counts[row] >= g.threshold
+}
+
+// Reset clears a row's counter after its neighbors were refreshed.
+func (g *Graphene) Reset(row int) { delete(g.counts, row) }
+
+// TableSize returns the live counter count (spill-compressed tables would
+// bound this; the reference implementation tracks exactly).
+func (g *Graphene) TableSize() int { return len(g.counts) }

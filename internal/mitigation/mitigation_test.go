@@ -1,0 +1,294 @@
+package mitigation
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/core"
+	"github.com/dramstudy/rhvpp/internal/dram"
+	"github.com/dramstudy/rhvpp/internal/mapping"
+	"github.com/dramstudy/rhvpp/internal/physics"
+	"github.com/dramstudy/rhvpp/internal/softmc"
+)
+
+func TestRecommendVPPArgmaxHCFirst(t *testing.T) {
+	vpps := []float64{2.5, 2.1, 1.7}
+	hc := []float64{41000, 42100, 39800} // A2-like shape
+	ber := []float64{1.24e-3, 1.55e-3, 1.35e-3}
+	v, idx, err := RecommendVPP(vpps, hc, ber)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2.1 || idx != 1 {
+		t.Errorf("recommended %v (idx %d), want 2.1", v, idx)
+	}
+}
+
+func TestRecommendVPPTieBreaks(t *testing.T) {
+	vpps := []float64{2.5, 2.0, 1.6}
+	hc := []float64{10000, 10000, 10000}
+	ber := []float64{0.02, 0.01, 0.01}
+	// Tie on HCfirst -> lower BER wins; tie on both -> lower voltage.
+	v, _, err := RecommendVPP(vpps, hc, ber)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1.6 {
+		t.Errorf("recommended %v, want 1.6", v)
+	}
+}
+
+func TestRecommendVPPErrors(t *testing.T) {
+	if _, _, err := RecommendVPP(nil, nil, nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, _, err := RecommendVPP([]float64{1}, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched slices accepted")
+	}
+}
+
+func TestRecommendVPPMatchesTable3(t *testing.T) {
+	// Feeding each profile's three published operating points into the
+	// policy must recover the published VPPRec.
+	for _, p := range physics.Profiles() {
+		vpps := []float64{physics.VPPNominal, p.VPPRec, p.VPPMin}
+		hc := []float64{p.Nominal.HCFirst, p.AtVPPRec.HCFirst, p.AtVPPMin.HCFirst}
+		ber := []float64{p.Nominal.BER, p.AtVPPRec.BER, p.AtVPPMin.BER}
+		v, _, err := RecommendVPP(vpps, hc, ber)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-p.VPPRec) > 1e-9 {
+			t.Errorf("%s: policy picked %v, Table 3 says %v", p.Name, v, p.VPPRec)
+		}
+	}
+}
+
+func TestPARAFailureProbability(t *testing.T) {
+	p := PARA{P: 0.001}
+	// (1-0.001)^10000 ~ 4.5e-5
+	got := p.FailureProbability(10000)
+	if math.Abs(got-4.52e-5) > 1e-5 {
+		t.Errorf("failure probability = %v, want ~4.5e-5", got)
+	}
+	if (PARA{P: 0}).FailureProbability(1000) != 1 {
+		t.Error("P=0 should never defend")
+	}
+	if (PARA{P: 1}).FailureProbability(1000) != 0 {
+		t.Error("P=1 should always defend")
+	}
+}
+
+func TestRequiredPShrinksWithHCFirst(t *testing.T) {
+	p1, err := RequiredP(10000, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := RequiredP(18600, 1e-6) // +86% HCfirst at reduced VPP (B3-like)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 >= p1 {
+		t.Errorf("required P did not shrink: %v -> %v", p1, p2)
+	}
+	// Round trip: with the required P, failure probability hits the target.
+	if got := (PARA{P: p1}).FailureProbability(10000); math.Abs(got-1e-6) > 1e-8 {
+		t.Errorf("round trip failure probability = %v", got)
+	}
+	if _, err := RequiredP(0, 0.5); err == nil {
+		t.Error("invalid inputs accepted")
+	}
+}
+
+func TestGrapheneCountersRequired(t *testing.T) {
+	// Window of 1.36M activations, threshold HCfirst/4.
+	n1 := CountersRequired(1_360_000, 10_000, 4)
+	n2 := CountersRequired(1_360_000, 18_600, 4)
+	if n1 != 544 {
+		t.Errorf("counters at HCfirst=10K: %d, want 544", n1)
+	}
+	if n2 >= n1 {
+		t.Errorf("counter budget did not shrink with higher HCfirst: %d -> %d", n1, n2)
+	}
+	if CountersRequired(1000, 0, 4) != 0 {
+		t.Error("invalid HCfirst should yield 0")
+	}
+}
+
+func TestGrapheneTracker(t *testing.T) {
+	g := NewGraphene(5)
+	for i := 0; i < 4; i++ {
+		if g.Observe(7) {
+			t.Fatalf("triggered after %d observations", i+1)
+		}
+	}
+	if !g.Observe(7) {
+		t.Error("did not trigger at threshold")
+	}
+	g.Reset(7)
+	if g.TableSize() != 0 {
+		t.Errorf("table size after reset = %d", g.TableSize())
+	}
+	if g.Observe(7) {
+		t.Error("triggered immediately after reset")
+	}
+}
+
+func testGeometry() physics.Geometry {
+	return physics.Geometry{Banks: 2, RowsPerBank: 2048, RowBytes: 512, SubarrayRows: 512}
+}
+
+func newECCSetup(t *testing.T, name string) (*ECCController, *dram.Module) {
+	t.Helper()
+	p, ok := physics.ProfileByName(name)
+	if !ok {
+		t.Fatalf("no profile %s", name)
+	}
+	mod := dram.NewModule(p, testGeometry(), 21, dram.WithScheme(mapping.Direct{}))
+	return NewECCController(softmc.New(mod), 0), mod
+}
+
+func TestECCCorrectsRetentionFlips(t *testing.T) {
+	// B6 at VPPmin fails at 64ms with one flip per word (Obsv. 14): the
+	// SECDED path must deliver clean data.
+	e, mod := newECCSetup(t, "B6")
+	mod.SetVPP(mod.Profile().VPPMin)
+	mod.SetTemperature(physics.RetentionTestTempC)
+
+	correctedTotal := 0
+	for row := 100; row < 400; row++ {
+		if err := e.InitializeRow(row, 0xAA); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Controller().WaitMS(64); err != nil {
+			t.Fatal(err)
+		}
+		data, st, err := e.ReadRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Uncorrectable != 0 {
+			t.Fatalf("row %d: %d uncorrectable words at the smallest failing window", row, st.Uncorrectable)
+		}
+		correctedTotal += st.Corrected
+		for i, b := range data {
+			if b != 0xAA {
+				t.Fatalf("row %d byte %d: ECC-delivered data still corrupt (%#x)", row, i, b)
+			}
+		}
+	}
+	if correctedTotal == 0 {
+		t.Error("no corrections happened; B6 should flip at 64ms/VPPmin")
+	}
+}
+
+func TestBuildRefreshPlan(t *testing.T) {
+	results := []core.RetentionResult{
+		{Row: 1, Points: []core.RetentionPoint{{WindowMS: 32, BER: 0}, {WindowMS: 64, BER: 0.001}}},
+		{Row: 2, Points: []core.RetentionPoint{{WindowMS: 64, BER: 0}, {WindowMS: 128, BER: 0.001}}},
+		{Row: 3, Points: []core.RetentionPoint{{WindowMS: 64, BER: 0}}},
+	}
+	plan := BuildRefreshPlan(results, 64)
+	if !plan.FastRows[1] {
+		t.Error("row failing at 64ms not in fast set")
+	}
+	if plan.FastRows[2] || plan.FastRows[3] {
+		t.Error("rows failing only beyond 64ms (or never) put in fast set")
+	}
+	if math.Abs(plan.Fraction()-1.0/3) > 1e-12 {
+		t.Errorf("fraction = %v", plan.Fraction())
+	}
+	if plan.WindowFor(1) != 32 || plan.WindowFor(3) != 64 {
+		t.Error("planned windows wrong")
+	}
+}
+
+func TestSelectiveRefreshEliminatesFlips(t *testing.T) {
+	p, _ := physics.ProfileByName("B6")
+	mod := dram.NewModule(p, testGeometry(), 21, dram.WithScheme(mapping.Direct{}))
+	mod.SetVPP(p.VPPMin)
+	mod.SetTemperature(physics.RetentionTestTempC)
+	cfg := core.Quick()
+	cfg.RetentionWindowsMS = []float64{16, 32, 64}
+	tester := core.NewTester(softmc.New(mod), cfg)
+
+	rows := make([]int, 0, 250)
+	for r := 100; r < 350; r++ {
+		rows = append(rows, r)
+	}
+	var results []core.RetentionResult
+	for _, r := range rows {
+		res, err := tester.RetentionSweep(r, 3) // pattern.CheckerAA
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	plan := BuildRefreshPlan(results, 64)
+	if plan.Fraction() == 0 {
+		t.Fatal("no fast rows found on B6 at VPPmin; plan would be empty")
+	}
+	failed, err := Verify(tester, plan, rows, 0xAA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Errorf("%d rows still flip under the selective refresh plan", failed)
+	}
+	// Without the plan, the same rows at the nominal window do flip.
+	noplan := RefreshPlan{NominalWindowMS: 64, TotalRows: len(rows), FastRows: map[int]bool{}}
+	failedBaseline, err := Verify(tester, noplan, rows, 0xAA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failedBaseline == 0 {
+		t.Error("baseline (uniform 64ms) shows no failures; test lost its bite")
+	}
+}
+
+func TestFineRefreshPlanBeatsBlanketDoubling(t *testing.T) {
+	p, _ := physics.ProfileByName("B6")
+	mod := dram.NewModule(p, testGeometry(), 21, dram.WithScheme(mapping.Direct{}))
+	mod.SetVPP(p.VPPMin)
+	mod.SetTemperature(physics.RetentionTestTempC)
+	cfg := core.Quick()
+	tester := core.NewTester(softmc.New(mod), cfg)
+
+	rows := make([]int, 0, 200)
+	for r := 100; r < 300; r++ {
+		rows = append(rows, r)
+	}
+	plan, err := BuildFineRefreshPlan(tester, rows, 64, 1, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.WindowMS) == 0 {
+		t.Fatal("no weak rows found; plan is empty")
+	}
+	// Every assigned window must be meaningfully above the blanket 32ms.
+	above32 := 0
+	for row, w := range plan.WindowMS {
+		if w <= 0 || w > 64 {
+			t.Fatalf("row %d assigned window %vms", row, w)
+		}
+		if w > 32 {
+			above32++
+		}
+	}
+	if above32 == 0 {
+		t.Error("no row could run slower than the blanket 2x rate")
+	}
+	// The fine plan must cost less refresh rate than blanket 2x on the
+	// same weak rows.
+	blanketCost := (float64(len(rows)-len(plan.WindowMS)) + 2*float64(len(plan.WindowMS))) / float64(len(rows))
+	if got := plan.RefreshCostVsNominal(); got >= blanketCost {
+		t.Errorf("fine plan cost %.4f not below blanket-2x cost %.4f", got, blanketCost)
+	}
+	failed, err := VerifyFine(tester, plan, rows, 0xAA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Errorf("%d rows still flip under the fine plan", failed)
+	}
+}

@@ -1,0 +1,97 @@
+package physics
+
+import "math"
+
+// Phi is the standard normal cumulative distribution function.
+func Phi(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// PhiInv is the standard normal quantile function (inverse CDF), computed
+// with Acklam's rational approximation refined by one Halley step. The
+// refined result is accurate to ~1e-15 over (0, 1); out-of-range inputs
+// return ±Inf.
+func PhiInv(p float64) float64 {
+	switch {
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	}
+
+	const (
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((-7.784894002430293e-03*q-3.223964580411365e-01)*q-
+			2.400758277161838e+00)*q-2.549732539343734e+00)*q+
+			4.374664141464968e+00)*q + 2.938163982698783e+00) /
+			((((7.784695709041462e-03*q+3.224671290700398e-01)*q+
+				2.445134137142996e+00)*q+3.754408661907416e+00)*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((-3.969683028665376e+01*r+2.209460984245205e+02)*r-
+			2.759285104469687e+02)*r+1.383577518672690e+02)*r-
+			3.066479806614716e+01)*r + 2.506628277459239e+00) * q /
+			(((((-5.447609879822406e+01*r+1.615858368580409e+02)*r-
+				1.556989798598866e+02)*r+6.680131188771972e+01)*r-
+				1.328068155288572e+01)*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((-7.784894002430293e-03*q-3.223964580411365e-01)*q-
+			2.400758277161838e+00)*q-2.549732539343734e+00)*q+
+			4.374664141464968e+00)*q + 2.938163982698783e+00) /
+			((((7.784695709041462e-03*q+3.224671290700398e-01)*q+
+				2.445134137142996e+00)*q+3.754408661907416e+00)*q + 1)
+	}
+
+	// One Halley refinement using the exact CDF.
+	e := Phi(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}
+
+// LogNormalCDF evaluates Phi((ln x - mu)/sigma), the CDF of a log-normal
+// distribution; it is 0 for x <= 0.
+func LogNormalCDF(x, mu, sigma float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return Phi((math.Log(x) - mu) / sigma)
+}
+
+// SolveLogNormal finds the (mu, sigma) of a log-normal distribution passing
+// through two CDF anchor points: CDF(x1) = p1 and CDF(x2) = p2, with
+// 0 < x1 < x2 and 0 < p1 < p2 < 1. This is how the model converts a row's
+// (HCfirst, BER@300K) pair or a vendor's two retention anchors into a full
+// threshold distribution. The second return is false when the anchors are
+// degenerate (equal quantiles or non-increasing).
+func SolveLogNormal(x1, p1, x2, p2 float64) (mu, sigma float64, ok bool) {
+	if x1 <= 0 || x2 <= x1 || p1 <= 0 || p2 <= p1 || p2 >= 1 {
+		return 0, 0, false
+	}
+	z1, z2 := PhiInv(p1), PhiInv(p2)
+	if z2 <= z1 {
+		return 0, 0, false
+	}
+	sigma = (math.Log(x2) - math.Log(x1)) / (z2 - z1)
+	mu = math.Log(x1) - sigma*z1
+	return mu, sigma, true
+}
+
+// clamp limits v to [lo, hi].
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

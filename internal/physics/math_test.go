@@ -1,0 +1,120 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhiKnownValues(t *testing.T) {
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1.6448536269514722, 0.95},
+		{-1.6448536269514722, 0.05},
+		{2.3263478740408408, 0.99},
+		{-2.3263478740408408, 0.01},
+	}
+	for _, tt := range tests {
+		if got := Phi(tt.x); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Phi(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestPhiInvRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-9, 1e-6, 0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999, 1 - 1e-6} {
+		x := PhiInv(p)
+		if got := Phi(x); math.Abs(got-p) > 1e-9*math.Max(1, 1/p) {
+			t.Errorf("Phi(PhiInv(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestPhiInvEdges(t *testing.T) {
+	if !math.IsInf(PhiInv(0), -1) {
+		t.Error("PhiInv(0) should be -Inf")
+	}
+	if !math.IsInf(PhiInv(1), 1) {
+		t.Error("PhiInv(1) should be +Inf")
+	}
+	if PhiInv(0.5) != 0 && math.Abs(PhiInv(0.5)) > 1e-12 {
+		t.Errorf("PhiInv(0.5) = %v", PhiInv(0.5))
+	}
+}
+
+func TestPhiInvMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for p := 0.001; p < 1; p += 0.001 {
+		x := PhiInv(p)
+		if x <= prev {
+			t.Fatalf("PhiInv not monotone at p=%v", p)
+		}
+		prev = x
+	}
+}
+
+func TestLogNormalCDF(t *testing.T) {
+	// Median of lognormal(mu, sigma) is exp(mu).
+	if got := LogNormalCDF(math.Exp(3), 3, 0.7); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF at median = %v, want 0.5", got)
+	}
+	if LogNormalCDF(0, 0, 1) != 0 || LogNormalCDF(-5, 0, 1) != 0 {
+		t.Error("CDF of non-positive x should be 0")
+	}
+}
+
+func TestSolveLogNormal(t *testing.T) {
+	mu, sigma, ok := SolveLogNormal(100, 0.01, 1000, 0.4)
+	if !ok {
+		t.Fatal("solve failed")
+	}
+	if got := LogNormalCDF(100, mu, sigma); math.Abs(got-0.01) > 1e-9 {
+		t.Errorf("anchor 1: CDF(100) = %v, want 0.01", got)
+	}
+	if got := LogNormalCDF(1000, mu, sigma); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("anchor 2: CDF(1000) = %v, want 0.4", got)
+	}
+}
+
+func TestSolveLogNormalRejectsDegenerate(t *testing.T) {
+	cases := [][4]float64{
+		{100, 0.4, 1000, 0.4}, // equal probabilities
+		{100, 0.5, 1000, 0.1}, // decreasing
+		{1000, 0.1, 100, 0.5}, // x2 < x1
+		{-1, 0.1, 100, 0.5},   // non-positive x
+		{100, 0, 1000, 0.5},   // p1 = 0
+		{100, 0.1, 1000, 1.0}, // p2 = 1
+		{100, 0.1, 100, 0.5},  // x1 == x2
+	}
+	for _, c := range cases {
+		if _, _, ok := SolveLogNormal(c[0], c[1], c[2], c[3]); ok {
+			t.Errorf("SolveLogNormal(%v) accepted degenerate anchors", c)
+		}
+	}
+}
+
+func TestQuickSolveLogNormalHitsAnchors(t *testing.T) {
+	f := func(x1r, p1r, x2r, p2r uint16) bool {
+		x1 := 1 + float64(x1r)
+		x2 := x1 * (2 + float64(x2r)/100)
+		p1 := 0.001 + 0.4*float64(p1r)/65535
+		p2 := p1 + 0.01 + 0.5*float64(p2r)/65535
+		mu, sigma, ok := SolveLogNormal(x1, p1, x2, p2)
+		if !ok {
+			return false
+		}
+		return math.Abs(LogNormalCDF(x1, mu, sigma)-p1) < 1e-6 &&
+			math.Abs(LogNormalCDF(x2, mu, sigma)-p2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 0, 1) != 1 || clamp(-5, 0, 1) != 0 || clamp(0.5, 0, 1) != 0.5 {
+		t.Error("clamp misbehaves")
+	}
+}

@@ -1,0 +1,208 @@
+// Package report renders experiment results as aligned text tables, CSV
+// files, and compact ASCII plots (line series and histograms), so every
+// table and figure of the paper can be regenerated on a terminal or exported
+// for external plotting.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row, stringifying each cell with %v (floats get %.4g).
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV exports the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Series is one named line of (x, y) points for a line plot.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LinePlot renders one or more series on a shared ASCII grid. Each series
+// is drawn with its own glyph; the legend maps glyphs to names.
+type LinePlot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	Series []Series
+}
+
+var plotGlyphs = []byte("*o+x#@%&$~^=")
+
+// Render draws the plot.
+func (p *LinePlot) Render(w io.Writer) error {
+	width, height := p.Width, p.Height
+	if width < 16 {
+		width = 64
+	}
+	if height < 4 {
+		height = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("report: plot %q has no data", p.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.Series {
+		glyph := plotGlyphs[si%len(plotGlyphs)]
+		for i := range s.X {
+			cx := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			cy := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = glyph
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	fmt.Fprintf(&b, "%s max=%.4g\n", p.YLabel, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "| %s\n", row)
+	}
+	fmt.Fprintf(&b, "%s min=%.4g   %s: %.4g .. %.4g\n", p.YLabel, minY, p.XLabel, minX, maxX)
+	for si, s := range p.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", plotGlyphs[si%len(plotGlyphs)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// BarChart renders labeled values as horizontal ASCII bars.
+type BarChart struct {
+	Title  string
+	Labels []string
+	Values []float64
+	Width  int
+}
+
+// Render draws the chart.
+func (c *BarChart) Render(w io.Writer) error {
+	if len(c.Labels) != len(c.Values) {
+		return fmt.Errorf("report: bar chart %q has %d labels but %d values",
+			c.Title, len(c.Labels), len(c.Values))
+	}
+	width := c.Width
+	if width < 10 {
+		width = 50
+	}
+	max := 0.0
+	lw := 0
+	for i, v := range c.Values {
+		if v > max {
+			max = v
+		}
+		if len(c.Labels[i]) > lw {
+			lw = len(c.Labels[i])
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, v := range c.Values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s | %-*s %.4g\n", lw, c.Labels[i], width, strings.Repeat("#", n), v)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

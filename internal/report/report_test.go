@@ -1,0 +1,139 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Title: "demo", Headers: []string{"name", "value"}}
+	tab.Add("alpha", 1)
+	tab.Add("beta", 2.5)
+	tab.Add("gamma-long-label", "x")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "name", "alpha", "2.5", "gamma-long-label"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 3 rows.
+	if len(lines) != 6 {
+		t.Errorf("line count = %d, want 6:\n%s", len(lines), out)
+	}
+	// Columns aligned: every data line at least as wide as the longest label.
+	if len(lines[3]) < len("gamma-long-label") {
+		t.Error("column alignment broken")
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tab := Table{Headers: []string{"v"}}
+	tab.Add(0.000123456)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.0001235") {
+		t.Errorf("float not formatted with %%.4g: %s", buf.String())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{Headers: []string{"a", "b"}}
+	tab.Add("x", 1)
+	tab.Add("y,z", 2) // comma requires quoting
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"y,z"`) {
+		t.Errorf("CSV quoting missing: %q", out)
+	}
+}
+
+func TestLinePlotRender(t *testing.T) {
+	p := LinePlot{
+		Title: "tplot", XLabel: "x", YLabel: "y", Width: 20, Height: 5,
+		Series: []Series{
+			{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+			{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"tplot", "up", "down", "max=2", "min=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("plot glyphs missing")
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	p := LinePlot{Title: "empty"}
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err == nil {
+		t.Error("empty plot rendered without error")
+	}
+}
+
+func TestLinePlotDegenerateRange(t *testing.T) {
+	p := LinePlot{
+		Series: []Series{{Name: "flat", X: []float64{1, 1}, Y: []float64{3, 3}}},
+	}
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatalf("flat series failed: %v", err)
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := BarChart{
+		Title:  "bars",
+		Labels: []string{"a", "bb"},
+		Values: []float64{1, 2},
+		Width:  10,
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "##########") {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "#####") {
+		t.Error("half bar missing")
+	}
+}
+
+func TestBarChartMismatch(t *testing.T) {
+	c := BarChart{Labels: []string{"a"}, Values: []float64{1, 2}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err == nil {
+		t.Error("mismatched chart rendered without error")
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	c := BarChart{Labels: []string{"a"}, Values: []float64{0}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatalf("zero-value chart failed: %v", err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package spice implements a compact SPICE-class transient circuit
+// simulator: modified nodal analysis (MNA) with backward-Euler integration
+// and Newton-Raphson iteration over level-1 MOSFET models. It exists to
+// reproduce the paper's circuit-level study (§4.5, Figs. 8 and 9): the DRAM
+// cell / bitline / sense-amplifier netlist of Table 2, simulated across VPP
+// levels with Monte-Carlo parameter variation.
+//
+// The engine is general: circuits are built from resistors, capacitors,
+// piecewise-linear voltage sources, and MOSFETs, then integrated with fixed
+// time steps. Only the features the paper's study needs are implemented —
+// no AC analysis, no higher-order integration.
+package spice
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ground is the reference node; its voltage is fixed at zero.
+const Ground = 0
+
+// Circuit is a netlist under construction. The zero value is unusable; use
+// NewCircuit.
+type Circuit struct {
+	nodeCount int
+	nodeNames map[string]int
+	resistors []resistor
+	caps      []capacitor
+	sources   []vsource
+	mosfets   []mosfet
+	initial   map[int]float64
+}
+
+type resistor struct {
+	a, b int
+	ohms float64
+}
+
+type capacitor struct {
+	a, b   int
+	farads float64
+}
+
+type vsource struct {
+	pos, neg int
+	wave     Waveform
+}
+
+type mosfet struct {
+	d, g, s int
+	params  MOSParams
+}
+
+// Waveform is a time-dependent source value in volts.
+type Waveform interface {
+	At(t float64) float64
+}
+
+// DC is a constant waveform.
+type DC float64
+
+// At implements Waveform.
+func (d DC) At(float64) float64 { return float64(d) }
+
+// PWL is a piecewise-linear waveform defined by (time, value) breakpoints in
+// ascending time order; values are held outside the breakpoint range.
+type PWL struct {
+	Times  []float64
+	Values []float64
+}
+
+// At implements Waveform.
+func (p PWL) At(t float64) float64 {
+	n := len(p.Times)
+	if n == 0 {
+		return 0
+	}
+	if t <= p.Times[0] {
+		return p.Values[0]
+	}
+	if t >= p.Times[n-1] {
+		return p.Values[n-1]
+	}
+	for i := 1; i < n; i++ {
+		if t <= p.Times[i] {
+			f := (t - p.Times[i-1]) / (p.Times[i] - p.Times[i-1])
+			return p.Values[i-1] + f*(p.Values[i]-p.Values[i-1])
+		}
+	}
+	return p.Values[n-1]
+}
+
+// NewCircuit returns an empty netlist.
+func NewCircuit() *Circuit {
+	return &Circuit{
+		nodeCount: 1, // ground
+		nodeNames: map[string]int{"gnd": Ground, "0": Ground},
+		initial:   map[int]float64{},
+	}
+}
+
+// Node returns the node id for a name, allocating it on first use.
+func (c *Circuit) Node(name string) int {
+	if id, ok := c.nodeNames[name]; ok {
+		return id
+	}
+	id := c.nodeCount
+	c.nodeCount++
+	c.nodeNames[name] = id
+	return id
+}
+
+// NumNodes returns the number of nodes including ground.
+func (c *Circuit) NumNodes() int { return c.nodeCount }
+
+// R adds a resistor between nodes a and b.
+func (c *Circuit) R(a, b int, ohms float64) {
+	c.resistors = append(c.resistors, resistor{a, b, ohms})
+}
+
+// C adds a capacitor between nodes a and b.
+func (c *Circuit) C(a, b int, farads float64) {
+	c.caps = append(c.caps, capacitor{a, b, farads})
+}
+
+// V adds a voltage source from pos to neg with the given waveform and
+// returns its source index.
+func (c *Circuit) V(pos, neg int, w Waveform) int {
+	c.sources = append(c.sources, vsource{pos, neg, w})
+	return len(c.sources) - 1
+}
+
+// MOS adds a MOSFET with the given terminals and parameters.
+func (c *Circuit) MOS(drain, gate, source int, p MOSParams) {
+	c.mosfets = append(c.mosfets, mosfet{drain, gate, source, p})
+}
+
+// SetInitial sets a node's initial voltage for transient analysis.
+func (c *Circuit) SetInitial(node int, volts float64) {
+	if node != Ground {
+		c.initial[node] = volts
+	}
+}
+
+// ErrSingular is returned when the MNA system cannot be solved.
+var ErrSingular = errors.New("spice: singular MNA matrix")
+
+// ErrNoConverge is returned when Newton iteration fails to converge.
+var ErrNoConverge = errors.New("spice: Newton iteration did not converge")
+
+// solveDense performs Gaussian elimination with partial pivoting in place.
+// a is an n x n matrix in row-major order; b the right-hand side.
+func solveDense(a []float64, b []float64, n int) error {
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		max := abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := abs(a[r*n+col]); v > max {
+				pivot, max = r, v
+			}
+		}
+		if max < 1e-18 {
+			return fmt.Errorf("%w (column %d)", ErrSingular, col)
+		}
+		if pivot != col {
+			for k := col; k < n; k++ {
+				a[col*n+k], a[pivot*n+k] = a[pivot*n+k], a[col*n+k]
+			}
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / a[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := a[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[r*n+k] -= f * a[col*n+k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for k := r + 1; k < n; k++ {
+			sum -= a[r*n+k] * b[k]
+		}
+		b[r] = sum / a[r*n+r]
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

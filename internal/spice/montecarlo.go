@@ -1,0 +1,104 @@
+package spice
+
+import (
+	"fmt"
+
+	"github.com/dramstudy/rhvpp/internal/rng"
+)
+
+// MCResult aggregates a Monte-Carlo campaign at one VPP level.
+type MCResult struct {
+	VPP float64
+	// TRCDminNS and TRASminNS hold the per-run measurements of runs whose
+	// activation completed reliably.
+	TRCDminNS []float64
+	TRASminNS []float64
+	// Unreliable counts runs whose bitline never crossed the read
+	// threshold (e.g. the sense amplifier latched the wrong way under
+	// mismatch at very low VPP).
+	Unreliable int
+	// Unrestored counts runs whose charge restoration did not complete
+	// within the horizon.
+	Unrestored int
+	Runs       int
+}
+
+// WorstTRCDminNS returns the largest observed reliable tRCDmin (the
+// worst-case line of Fig. 8b), or 0 when no run was reliable.
+func (r MCResult) WorstTRCDminNS() float64 {
+	worst := 0.0
+	for _, v := range r.TRCDminNS {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// MeanTRCDminNS returns the mean reliable tRCDmin, or 0 when none.
+func (r MCResult) MeanTRCDminNS() float64 {
+	if len(r.TRCDminNS) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range r.TRCDminNS {
+		sum += v
+	}
+	return sum / float64(len(r.TRCDminNS))
+}
+
+// ReliableFraction is the fraction of runs with a reliable activation.
+func (r MCResult) ReliableFraction() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(len(r.TRCDminNS)) / float64(r.Runs)
+}
+
+// Vary applies a uniform relative variation of up to ±frac to the
+// process-dependent parameters of p, drawing from the stream. This is the
+// paper's ±5% Monte-Carlo component variation (§4.5).
+func Vary(p CellParams, s *rng.Stream, frac float64) CellParams {
+	u := func(v float64) float64 { return v * (1 + s.Uniform(-frac, frac)) }
+	p.CellC = u(p.CellC)
+	p.CellR = u(p.CellR)
+	p.BLC = u(p.BLC)
+	p.BLR = u(p.BLR)
+	p.Access.W = u(p.Access.W)
+	p.Access.L = u(p.Access.L)
+	p.Access.VT0 = u(p.Access.VT0)
+	p.Access.KP = u(p.Access.KP)
+	for _, m := range []*MOSParams{&p.SAN1, &p.SAN2, &p.SAP1, &p.SAP2} {
+		m.W = u(m.W)
+		m.L = u(m.L)
+		m.VT0 = u(m.VT0)
+		m.KP = u(m.KP)
+	}
+	return p
+}
+
+// MonteCarlo runs the activation simulation `runs` times at the given VPP
+// with ±variation parameter spread, mirroring the paper's 10K-run campaign
+// per voltage level.
+func MonteCarlo(vpp float64, runs int, seed uint64, variation float64) (MCResult, error) {
+	res := MCResult{VPP: vpp, Runs: runs}
+	root := rng.New(seed).Derive("spice-mc", fmt.Sprintf("%.2f", vpp))
+	for i := 0; i < runs; i++ {
+		p := Vary(DefaultCellParams(vpp), root.Derive("run", i), variation)
+		out, err := SimulateActivation(p, nil)
+		if err != nil {
+			return res, fmt.Errorf("run %d: %w", i, err)
+		}
+		if out.Reliable {
+			res.TRCDminNS = append(res.TRCDminNS, out.TRCDminNS)
+		} else {
+			res.Unreliable++
+		}
+		if out.Restored {
+			res.TRASminNS = append(res.TRASminNS, out.TRASminNS)
+		} else {
+			res.Unrestored++
+		}
+	}
+	return res, nil
+}

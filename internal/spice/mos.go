@@ -1,0 +1,71 @@
+package spice
+
+// MOSType distinguishes n-channel from p-channel devices.
+type MOSType int
+
+// MOSFET polarities.
+const (
+	NMOS MOSType = iota + 1
+	PMOS
+)
+
+// MOSParams is a level-1 (Shichman-Hodges) MOSFET parameter set, adequate
+// for the charge-sharing and latch dynamics this study needs.
+type MOSParams struct {
+	Type MOSType
+	// W and L are channel width and length in meters.
+	W, L float64
+	// VT0 is the zero-bias threshold voltage (positive for NMOS; for PMOS
+	// the magnitude is used).
+	VT0 float64
+	// KP is the transconductance parameter (A/V^2), i.e. u0*Cox.
+	KP float64
+	// Lambda is the channel-length modulation coefficient (1/V).
+	Lambda float64
+}
+
+// eval computes the drain current and small-signal conductances of the
+// device at terminal voltages (vd, vg, vs), all referred to ground. The
+// returned current flows into the drain terminal. Source/drain are swapped
+// internally when the applied polarity is reversed (symmetric device).
+func (p MOSParams) eval(vd, vg, vs float64) (id, gm, gds float64) {
+	if p.Type == PMOS {
+		// Evaluate the dual NMOS with mirrored voltages.
+		n := p
+		n.Type = NMOS
+		id, gm, gds = n.eval(-vd, -vg, -vs)
+		return -id, gm, gds
+	}
+
+	sign := 1.0
+	if vd < vs {
+		vd, vs = vs, vd
+		sign = -1
+	}
+	vgs := vg - vs
+	vds := vd - vs
+	vov := vgs - p.VT0
+
+	const gmin = 1e-12 // leakage floor for Newton stability
+	beta := p.KP * p.W / p.L
+	switch {
+	case vov <= 0:
+		// Cutoff: only the stability floor conducts.
+		id = gmin * vds
+		gds = gmin
+		gm = 0
+	case vds < vov:
+		// Triode region.
+		clm := 1 + p.Lambda*vds
+		id = beta * (vov*vds - vds*vds/2) * clm
+		gm = beta * vds * clm
+		gds = beta*(vov-vds)*clm + beta*(vov*vds-vds*vds/2)*p.Lambda + gmin
+	default:
+		// Saturation.
+		clm := 1 + p.Lambda*vds
+		id = beta / 2 * vov * vov * clm
+		gm = beta * vov * clm
+		gds = beta/2*vov*vov*p.Lambda + gmin
+	}
+	return sign * id, gm, gds
+}

@@ -1,0 +1,220 @@
+package spice
+
+import "fmt"
+
+// Transient integrates a circuit through time with fixed-step backward
+// Euler, solving the nonlinear MNA system by Newton-Raphson at each step.
+type Transient struct {
+	ckt *Circuit
+	dt  float64
+	t   float64
+
+	nv   int       // voltage unknowns (nodes minus ground)
+	dim  int       // nv + number of voltage sources
+	v    []float64 // current node voltages, index node-1
+	x    []float64 // full solution vector (voltages + source currents)
+	a    []float64 // scratch matrix
+	z    []float64 // scratch RHS
+	newt []float64 // scratch iterate
+}
+
+// Newton-iteration controls.
+const (
+	newtonTol      = 1e-6
+	newtonMaxIters = 80
+	newtonMaxDelta = 0.4 // volts per iteration (damping)
+)
+
+// NewTransient prepares a transient analysis with the given time step in
+// seconds. Node initial conditions come from Circuit.SetInitial (default 0).
+func NewTransient(c *Circuit, dt float64) *Transient {
+	nv := c.NumNodes() - 1
+	dim := nv + len(c.sources)
+	tr := &Transient{
+		ckt: c, dt: dt,
+		nv: nv, dim: dim,
+		v:    make([]float64, nv),
+		x:    make([]float64, dim),
+		a:    make([]float64, dim*dim),
+		z:    make([]float64, dim),
+		newt: make([]float64, dim),
+	}
+	for node, volts := range c.initial {
+		if node > 0 && node <= nv {
+			tr.v[node-1] = volts
+			tr.x[node-1] = volts
+		}
+	}
+	return tr
+}
+
+// Time returns the current simulation time in seconds.
+func (tr *Transient) Time() float64 { return tr.t }
+
+// V returns the voltage of a node at the current time.
+func (tr *Transient) V(node int) float64 {
+	if node == Ground {
+		return 0
+	}
+	return tr.v[node-1]
+}
+
+// Step advances the simulation by one time step.
+func (tr *Transient) Step() error {
+	tNext := tr.t + tr.dt
+	copy(tr.newt, tr.x) // Newton initial guess: previous solution
+
+	for iter := 0; iter < newtonMaxIters; iter++ {
+		tr.assemble(tNext)
+		if err := solveDense(tr.a, tr.z, tr.dim); err != nil {
+			return fmt.Errorf("t=%.3gs: %w", tNext, err)
+		}
+		// tr.z now holds the solution.
+		maxDelta := 0.0
+		for i := 0; i < tr.dim; i++ {
+			d := tr.z[i] - tr.newt[i]
+			if abs(d) > maxDelta {
+				maxDelta = abs(d)
+			}
+			// Damp voltage unknowns to keep the latch transition stable.
+			if i < tr.nv && abs(d) > newtonMaxDelta {
+				if d > 0 {
+					d = newtonMaxDelta
+				} else {
+					d = -newtonMaxDelta
+				}
+			}
+			tr.newt[i] += d
+		}
+		if maxDelta < newtonTol {
+			copy(tr.x, tr.newt)
+			copy(tr.v, tr.newt[:tr.nv])
+			tr.t = tNext
+			return nil
+		}
+	}
+	return fmt.Errorf("t=%.3gs: %w", tNext, ErrNoConverge)
+}
+
+// Run advances until the given time, invoking probe (if non-nil) after every
+// step.
+func (tr *Transient) Run(until float64, probe func(t float64, v func(node int) float64)) error {
+	for tr.t < until-tr.dt/2 {
+		if err := tr.Step(); err != nil {
+			return err
+		}
+		if probe != nil {
+			probe(tr.t, tr.V)
+		}
+	}
+	return nil
+}
+
+// assemble builds the MNA system linearized around the current Newton
+// iterate for the backward-Euler step ending at time t.
+func (tr *Transient) assemble(t float64) {
+	for i := range tr.a {
+		tr.a[i] = 0
+	}
+	for i := range tr.z {
+		tr.z[i] = 0
+	}
+	dim := tr.dim
+
+	stampG := func(a, b int, g float64) {
+		if a > 0 {
+			tr.a[(a-1)*dim+(a-1)] += g
+		}
+		if b > 0 {
+			tr.a[(b-1)*dim+(b-1)] += g
+		}
+		if a > 0 && b > 0 {
+			tr.a[(a-1)*dim+(b-1)] -= g
+			tr.a[(b-1)*dim+(a-1)] -= g
+		}
+	}
+	inject := func(node int, amps float64) {
+		if node > 0 {
+			tr.z[node-1] += amps
+		}
+	}
+	vAt := func(node int) float64 {
+		if node == Ground {
+			return 0
+		}
+		return tr.newt[node-1]
+	}
+	vPrev := func(node int) float64 {
+		if node == Ground {
+			return 0
+		}
+		return tr.v[node-1]
+	}
+
+	// Small leak from every node to ground keeps floating nodes defined.
+	for n := 1; n <= tr.nv; n++ {
+		tr.a[(n-1)*dim+(n-1)] += 1e-12
+	}
+
+	for _, r := range tr.ckt.resistors {
+		stampG(r.a, r.b, 1/r.ohms)
+	}
+	for _, c := range tr.ckt.caps {
+		geq := c.farads / tr.dt
+		stampG(c.a, c.b, geq)
+		ieq := geq * (vPrev(c.a) - vPrev(c.b))
+		inject(c.a, ieq)
+		inject(c.b, -ieq)
+	}
+	for k, src := range tr.ckt.sources {
+		row := tr.nv + k
+		if src.pos > 0 {
+			tr.a[row*dim+(src.pos-1)] = 1
+			tr.a[(src.pos-1)*dim+row] = 1
+		}
+		if src.neg > 0 {
+			tr.a[row*dim+(src.neg-1)] = -1
+			tr.a[(src.neg-1)*dim+row] = -1
+		}
+		tr.z[row] = src.wave.At(t)
+	}
+	for _, m := range tr.ckt.mosfets {
+		tr.stampMOS(m, vAt, stampG, inject)
+	}
+}
+
+// stampMOS linearizes one MOSFET around the Newton iterate using a
+// finite-difference Jacobian (robust to the internal drain/source swap).
+func (tr *Transient) stampMOS(m mosfet, vAt func(int) float64,
+	stampG func(a, b int, g float64), inject func(node int, amps float64)) {
+
+	vd, vg, vs := vAt(m.d), vAt(m.g), vAt(m.s)
+	id0, _, _ := m.params.eval(vd, vg, vs)
+
+	const h = 1e-6
+	idD, _, _ := m.params.eval(vd+h, vg, vs)
+	idG, _, _ := m.params.eval(vd, vg+h, vs)
+	idS, _, _ := m.params.eval(vd, vg, vs+h)
+	gdd := (idD - id0) / h
+	gdg := (idG - id0) / h
+	gds := (idS - id0) / h
+
+	dim := tr.dim
+	addA := func(row, col int, v float64) {
+		if row > 0 && col > 0 {
+			tr.a[(row-1)*dim+(col-1)] += v
+		}
+	}
+	// KCL row of the drain: Id = id0 + gdd*dVd + gdg*dVg + gds*dVs.
+	addA(m.d, m.d, gdd)
+	addA(m.d, m.g, gdg)
+	addA(m.d, m.s, gds)
+	// Source row carries the opposite current.
+	addA(m.s, m.d, -gdd)
+	addA(m.s, m.g, -gdg)
+	addA(m.s, m.s, -gds)
+
+	ieq := id0 - gdd*vd - gdg*vg - gds*vs
+	inject(m.d, -ieq)
+	inject(m.s, ieq)
+}

@@ -1,0 +1,309 @@
+// Package stats provides the statistical primitives used by the
+// characterization methodology and the experiment drivers: summary statistics
+// (mean, standard deviation, coefficient of variation), order statistics
+// (percentiles, confidence intervals), and binned population densities for
+// the paper's population-distribution figures (Figs. 4, 6, 8b, 9b, 10b).
+//
+// All functions are pure and operate on copies where mutation would otherwise
+// leak to the caller.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that cannot operate on empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (division by n, not n-1),
+// or 0 for fewer than two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// CV returns the coefficient of variation (stddev/mean) of xs. The paper
+// (§4.6) uses CV across ten measurement iterations to argue statistical
+// significance. CV is 0 when the mean is 0 to avoid a meaningless division.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Abs(m)
+}
+
+// Min returns the smallest element of xs. It returns ErrEmpty for an empty
+// sample.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs. It returns ErrEmpty for an empty
+// sample.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns ErrEmpty for an empty
+// sample and an error for out-of-range p.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range [0,100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// ConfidenceInterval holds a two-sided interval around a central estimate.
+type ConfidenceInterval struct {
+	Mean float64
+	Lo   float64
+	Hi   float64
+}
+
+// CI returns the empirical central confidence interval that covers the given
+// fraction of the sample (e.g. level=0.90 gives the [5th, 95th] percentile
+// band the paper shades around each curve). It returns ErrEmpty for an empty
+// sample.
+func CI(xs []float64, level float64) (ConfidenceInterval, error) {
+	if len(xs) == 0 {
+		return ConfidenceInterval{}, ErrEmpty
+	}
+	if level <= 0 || level >= 1 {
+		return ConfidenceInterval{}, errors.New("stats: confidence level must be in (0,1)")
+	}
+	tail := (1 - level) / 2 * 100
+	lo, err := Percentile(xs, tail)
+	if err != nil {
+		return ConfidenceInterval{}, err
+	}
+	hi, err := Percentile(xs, 100-tail)
+	if err != nil {
+		return ConfidenceInterval{}, err
+	}
+	return ConfidenceInterval{Mean: Mean(xs), Lo: lo, Hi: hi}, nil
+}
+
+// Bin is one bucket of a Histogram: the half-open value interval [Lo, Hi)
+// (the last bin is closed) together with the raw count and the fraction of
+// the total sample that falls inside.
+type Bin struct {
+	Lo       float64
+	Hi       float64
+	Count    int
+	Fraction float64
+}
+
+// Histogram is a binned population distribution.
+type Histogram struct {
+	Bins  []Bin
+	Total int
+}
+
+// NewHistogram bins xs into n equal-width buckets spanning [lo, hi]. Values
+// outside the range are clamped into the edge bins so that population
+// fractions always sum to 1, matching how the paper's population-density
+// figures account for every tested row. It returns an error for a
+// non-positive bin count or an inverted range.
+func NewHistogram(xs []float64, lo, hi float64, n int) (Histogram, error) {
+	if n <= 0 {
+		return Histogram{}, errors.New("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		return Histogram{}, errors.New("stats: histogram range is empty")
+	}
+	h := Histogram{Bins: make([]Bin, n), Total: len(xs)}
+	width := (hi - lo) / float64(n)
+	for i := range h.Bins {
+		h.Bins[i].Lo = lo + float64(i)*width
+		h.Bins[i].Hi = lo + float64(i+1)*width
+	}
+	for _, x := range xs {
+		idx := int((x - lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		h.Bins[idx].Count++
+	}
+	if h.Total > 0 {
+		for i := range h.Bins {
+			h.Bins[i].Fraction = float64(h.Bins[i].Count) / float64(h.Total)
+		}
+	}
+	return h, nil
+}
+
+// Mode returns the bin with the highest count. For an empty histogram it
+// returns the zero Bin.
+func (h Histogram) Mode() Bin {
+	var best Bin
+	for _, b := range h.Bins {
+		if b.Count > best.Count {
+			best = b
+		}
+	}
+	return best
+}
+
+// Normalize divides each element of xs by base and returns a new slice.
+// It is the helper behind every "normalized to nominal VPP" series in the
+// paper. A zero base yields an all-zero slice rather than Inf/NaN values.
+func Normalize(xs []float64, base float64) []float64 {
+	out := make([]float64, len(xs))
+	if base == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of xs strictly below the threshold.
+func FractionBelow(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x < threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// FractionAbove returns the fraction of xs strictly above the threshold.
+func FractionAbove(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. Non-positive entries make the
+// geometric mean undefined; they yield an error.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geometric mean of non-positive value")
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// Summary bundles the descriptive statistics the experiment drivers report
+// for each measured series.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	CV     float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P90    float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs. It returns ErrEmpty for an empty
+// sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	p50, _ := Percentile(xs, 50)
+	p90, _ := Percentile(xs, 90)
+	p95, _ := Percentile(xs, 95)
+	p99, _ := Percentile(xs, 99)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		CV:     CV(xs),
+		Min:    mn,
+		Max:    mx,
+		P50:    p50,
+		P90:    p90,
+		P95:    p95,
+		P99:    p99,
+	}, nil
+}

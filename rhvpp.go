@@ -1,0 +1,449 @@
+// Package rhvpp is a full-system reproduction of "Understanding RowHammer
+// Under Reduced Wordline Voltage: An Experimental Study Using Real DRAM
+// Devices" (DSN 2022) as a Go library.
+//
+// The physical study cannot run without 272 DDR4 chips, an FPGA, and a lab
+// power supply; this package substitutes a behavioral DDR4 device simulator
+// calibrated against every number the paper publishes (see DESIGN.md), a
+// SoftMC-class memory controller, the bench instruments around them, and a
+// SPICE-class circuit simulator for the paper's Figs. 8-9 — and then runs
+// the paper's own characterization algorithms on top.
+//
+// Two entry points cover most uses:
+//
+//   - Lab gives interactive access to a single simulated module: sweep VPP,
+//     hammer rows, measure HCfirst / BER / tRCDmin / retention, exactly as
+//     the paper's Algorithms 1-3 do.
+//   - RunExperiment regenerates any table or figure from the paper's
+//     evaluation by name ("table3", "fig5", "fig10a", ...), writing the
+//     rows/series to the supplied writer.
+package rhvpp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/dramstudy/rhvpp/internal/core"
+	"github.com/dramstudy/rhvpp/internal/dram"
+	"github.com/dramstudy/rhvpp/internal/experiments"
+	"github.com/dramstudy/rhvpp/internal/infra"
+	"github.com/dramstudy/rhvpp/internal/mapping"
+	"github.com/dramstudy/rhvpp/internal/mitigation"
+	"github.com/dramstudy/rhvpp/internal/pattern"
+	"github.com/dramstudy/rhvpp/internal/physics"
+)
+
+// Re-exported types forming the public API surface. The implementations
+// live in internal packages; these aliases are the supported names.
+type (
+	// ModuleProfile identifies one of the 30 tested DIMMs and its published
+	// characteristics (paper Table 3).
+	ModuleProfile = physics.ModuleProfile
+	// Geometry is the simulated DRAM array organization.
+	Geometry = physics.Geometry
+	// Manufacturer is the anonymized DRAM vendor (A, B, C).
+	Manufacturer = physics.Manufacturer
+	// Config carries the methodology parameters of the paper's §4.
+	Config = core.Config
+	// Options scales a full experiment campaign.
+	Options = experiments.Options
+	// RowHammerResult is a per-row Alg. 1 outcome.
+	RowHammerResult = core.RowHammerResult
+	// RetentionResult is a per-row Alg. 3 outcome.
+	RetentionResult = core.RetentionResult
+	// Pattern is a canonical DRAM test data pattern.
+	Pattern = pattern.Kind
+)
+
+// Re-exported constants.
+const (
+	VPPNominal    = physics.VPPNominal
+	VDDNominal    = physics.VDDNominal
+	TRCDNominalNS = physics.TRCDNominalNS
+	ReferenceHC   = physics.ReferenceHammerCount
+)
+
+// Modules returns the profiles of all 30 tested DIMMs.
+func Modules() []ModuleProfile { return physics.Profiles() }
+
+// ModuleByName looks a profile up by its Table 3 label (e.g. "B3").
+func ModuleByName(name string) (ModuleProfile, bool) { return physics.ProfileByName(name) }
+
+// DefaultConfig returns the paper's methodology parameters; QuickConfig a
+// reduced-effort variant for interactive use.
+func DefaultConfig() Config { return core.Default() }
+
+// QuickConfig returns the reduced-effort methodology parameters.
+func QuickConfig() Config { return core.Quick() }
+
+// DefaultOptions returns a laptop-scale campaign; PaperOptions the paper's
+// full parameters.
+func DefaultOptions() Options { return experiments.Default() }
+
+// PaperOptions returns the full-scale campaign parameters.
+func PaperOptions() Options { return experiments.Paper() }
+
+// Lab is an assembled testbed for one simulated module: the DIMM on the
+// interposer, the SoftMC controller, the external VPP supply, and the
+// thermal loop — everything Fig. 2 of the paper shows, in software.
+type Lab struct {
+	tb     *infra.Testbed
+	tester *core.Tester
+}
+
+// LabOption customizes lab construction.
+type LabOption func(*labConfig)
+
+type labConfig struct {
+	seed     uint64
+	geometry Geometry
+	config   Config
+	modOpts  []dram.Option
+}
+
+// WithSeed selects the simulated device instance.
+func WithSeed(seed uint64) LabOption { return func(c *labConfig) { c.seed = seed } }
+
+// WithGeometry overrides the simulated array organization.
+func WithGeometry(g Geometry) LabOption { return func(c *labConfig) { c.geometry = g } }
+
+// WithConfig overrides the methodology parameters.
+func WithConfig(cfg Config) LabOption { return func(c *labConfig) { c.config = cfg } }
+
+// WithTRR equips the module with an in-DRAM target-row-refresh engine.
+func WithTRR(trackers int) LabOption {
+	return func(c *labConfig) { c.modOpts = append(c.modOpts, dram.WithTRR(trackers)) }
+}
+
+// NewLab assembles a lab around the given module profile.
+func NewLab(prof ModuleProfile, opts ...LabOption) *Lab {
+	cfg := labConfig{
+		seed:     2022,
+		geometry: physics.Geometry{Banks: 1, RowsPerBank: 8192, RowBytes: 1024, SubarrayRows: 512},
+		config:   core.Quick(),
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tb := infra.NewTestbed(prof, cfg.geometry, cfg.seed, cfg.modOpts...)
+	return &Lab{tb: tb, tester: core.NewTester(tb.Controller, cfg.config)}
+}
+
+// Profile returns the module's identity and published characteristics.
+func (l *Lab) Profile() ModuleProfile { return l.tb.Module.Profile() }
+
+// SetVPP programs the external supply (±1 mV precision).
+func (l *Lab) SetVPP(v float64) error { return l.tb.SetVPP(v) }
+
+// VPP returns the current wordline voltage.
+func (l *Lab) VPP() float64 { return l.tb.Module.VPP() }
+
+// SetTemperature retargets and settles the PID thermal loop.
+func (l *Lab) SetTemperature(c float64) error { return l.tb.SetTemperature(c) }
+
+// DiscoverVPPmin lowers VPP until the module stops responding and returns
+// the lowest working voltage (§4.1).
+func (l *Lab) DiscoverVPPmin() (float64, error) { return l.tb.DiscoverVPPmin() }
+
+// Responds reports whether the module communicates at the current VPP.
+func (l *Lab) Responds() bool { return l.tb.Module.Responds() }
+
+// CharacterizeRow runs the full Alg. 1 flow (WCDP selection, worst-case BER
+// at the reference hammer count, HCfirst search) for one victim row.
+func (l *Lab) CharacterizeRow(row int) (RowHammerResult, error) {
+	return l.tester.CharacterizeRow(row, 0)
+}
+
+// MeasureBER performs one double-sided hammering measurement at the given
+// per-aggressor count using the row's worst-case pattern.
+func (l *Lab) MeasureBER(row, hammerCount int) (float64, error) {
+	wcdp, err := l.tester.SelectWCDP(row)
+	if err != nil {
+		return 0, err
+	}
+	return l.tester.MeasureBER(row, wcdp, hammerCount)
+}
+
+// TRCDMin measures the row's minimum reliable activation latency (Alg. 2).
+func (l *Lab) TRCDMin(row int) (float64, error) {
+	res, err := l.tester.CharacterizeRowTRCD(row, 0)
+	if err != nil {
+		return 0, err
+	}
+	return res.MinReliableNS, nil
+}
+
+// RetentionSweep measures the row's retention BER across the ladder of
+// refresh windows (Alg. 3). Call SetTemperature(80) first for the paper's
+// conditions.
+func (l *Lab) RetentionSweep(row int) (RetentionResult, error) {
+	return l.tester.RetentionSweep(row, 0)
+}
+
+// Aggressors returns the two logical rows physically adjacent to a victim.
+func (l *Lab) Aggressors(victim int) (lo, hi int, err error) {
+	return l.tester.AggressorsFor(victim)
+}
+
+// ReverseEngineerAdjacency probes physical adjacency for a window of rows
+// by escalating single-sided hammering (§4.2), and installs the result so
+// subsequent characterization uses probed neighbors.
+func (l *Lab) ReverseEngineerAdjacency(window []int, maxCount int) error {
+	adj, err := mapping.ReverseEngineer(l.tb.Controller, window, maxCount)
+	if err != nil {
+		return err
+	}
+	l.tester.UseAdjacency(adj)
+	return nil
+}
+
+// RecommendVPP sweeps the module across its VPP range and returns the
+// operating point the Table 3 policy recommends (argmax HCfirst).
+func (l *Lab) RecommendVPP(rows []int) (float64, error) {
+	var vpps, hcs, bers []float64
+	for _, vpp := range l.Profile().VPPLevels() {
+		if err := l.SetVPP(vpp); err != nil {
+			return 0, err
+		}
+		minHC, sumBER := 0.0, 0.0
+		n := 0
+		for _, row := range rows {
+			res, err := l.tester.CharacterizeRow(row, 0)
+			if err != nil {
+				continue
+			}
+			if minHC == 0 || float64(res.HCFirst) < minHC {
+				minHC = float64(res.HCFirst)
+			}
+			sumBER += res.BER
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		vpps = append(vpps, vpp)
+		hcs = append(hcs, minHC)
+		bers = append(bers, sumBER/float64(n))
+	}
+	rec, _, err := mitigation.RecommendVPP(vpps, hcs, bers)
+	return rec, err
+}
+
+// experimentRunners maps experiment ids to their drivers.
+var experimentRunners = map[string]func(Options, io.Writer) error{
+	"table1": func(o Options, w io.Writer) error { return experiments.Table1(w) },
+	"table2": func(o Options, w io.Writer) error { return experiments.Table2(w) },
+	"table3": func(o Options, w io.Writer) error {
+		st, err := experiments.RunRowHammerStudy(o)
+		if err != nil {
+			return err
+		}
+		return st.Table3().Render(w)
+	},
+	"fig3": func(o Options, w io.Writer) error {
+		st, err := experiments.RunRowHammerStudy(o)
+		if err != nil {
+			return err
+		}
+		return st.RenderFig3(w)
+	},
+	"fig4": func(o Options, w io.Writer) error {
+		st, err := experiments.RunRowHammerStudy(o)
+		if err != nil {
+			return err
+		}
+		return st.RenderFig4(w)
+	},
+	"fig5": func(o Options, w io.Writer) error {
+		st, err := experiments.RunRowHammerStudy(o)
+		if err != nil {
+			return err
+		}
+		return st.RenderFig5(w)
+	},
+	"fig6": func(o Options, w io.Writer) error {
+		st, err := experiments.RunRowHammerStudy(o)
+		if err != nil {
+			return err
+		}
+		return st.RenderFig6(w)
+	},
+	"summary": func(o Options, w io.Writer) error {
+		st, err := experiments.RunRowHammerStudy(o)
+		if err != nil {
+			return err
+		}
+		return st.Section5Aggregates().Render(w)
+	},
+	"fig7": func(o Options, w io.Writer) error {
+		st, err := experiments.RunTRCDStudy(o)
+		if err != nil {
+			return err
+		}
+		return st.RenderFig7(w)
+	},
+	"guardband": func(o Options, w io.Writer) error {
+		st, err := experiments.RunTRCDStudy(o)
+		if err != nil {
+			return err
+		}
+		return st.Summary().Render(w)
+	},
+	"fig8a": func(o Options, w io.Writer) error {
+		wf, err := experiments.RunWaveforms()
+		if err != nil {
+			return err
+		}
+		return wf.RenderFig8a(w)
+	},
+	"fig8b": func(o Options, w io.Writer) error {
+		st, err := experiments.RunMCStudy(o)
+		if err != nil {
+			return err
+		}
+		return st.RenderFig8b(w)
+	},
+	"fig9a": func(o Options, w io.Writer) error {
+		wf, err := experiments.RunWaveforms()
+		if err != nil {
+			return err
+		}
+		return wf.RenderFig9a(w)
+	},
+	"fig9b": func(o Options, w io.Writer) error {
+		st, err := experiments.RunMCStudy(o)
+		if err != nil {
+			return err
+		}
+		return st.RenderFig9b(w)
+	},
+	"fig10a": func(o Options, w io.Writer) error {
+		st, err := experiments.RunRetentionStudy(o)
+		if err != nil {
+			return err
+		}
+		return st.RenderFig10a(w)
+	},
+	"fig10b": func(o Options, w io.Writer) error {
+		st, err := experiments.RunRetentionStudy(o)
+		if err != nil {
+			return err
+		}
+		return st.RenderFig10b(w)
+	},
+	"fig11": func(o Options, w io.Writer) error {
+		wa, err := experiments.RunWordAnalysis(o)
+		if err != nil {
+			return err
+		}
+		return wa.RenderFig11(w)
+	},
+	"cv": func(o Options, w io.Writer) error {
+		st, err := experiments.RunCVStudy(o)
+		if err != nil {
+			return err
+		}
+		return st.Render(w)
+	},
+	"abl-attacks": func(o Options, w io.Writer) error {
+		cmp, err := experiments.RunAttackComparison(o, firstModule(o, "B0"), 60000)
+		if err != nil {
+			return err
+		}
+		return cmp.Render(w)
+	},
+	"abl-wcdp": func(o Options, w io.Writer) error {
+		st, err := experiments.RunWCDPStability(o, firstModule(o, "C0"))
+		if err != nil {
+			return err
+		}
+		return st.Render(w)
+	},
+	"abl-trr": func(o Options, w io.Writer) error {
+		ab, err := experiments.RunTRRAblation(o, firstModule(o, "B0"), 64000)
+		if err != nil {
+			return err
+		}
+		return ab.Render(w)
+	},
+	"abl-defense": func(o Options, w io.Writer) error {
+		name := firstModule(o, "B3")
+		prof, ok := physics.ProfileByName(name)
+		if !ok {
+			return fmt.Errorf("rhvpp: unknown module %s", name)
+		}
+		sw, err := experiments.RunModuleSweep(o, prof)
+		if err != nil {
+			return err
+		}
+		dc, err := experiments.RunDefenseCost(sw)
+		if err != nil {
+			return err
+		}
+		return dc.Render(w)
+	},
+	"abl-secded": func(o Options, w io.Writer) error {
+		cov, err := experiments.RunSECDEDCoverage(o, firstModule(o, "B6"))
+		if err != nil {
+			return err
+		}
+		return cov.Render(w)
+	},
+	"ext-temp": func(o Options, w io.Writer) error {
+		ti, err := experiments.RunTempInteraction(o, firstModule(o, "B3"), nil)
+		if err != nil {
+			return err
+		}
+		return ti.Render(w)
+	},
+	"ext-attacks": func(o Options, w io.Writer) error {
+		sd, err := experiments.RunDefenseShowdown(o, firstModule(o, "B0"), 400_000, 4000)
+		if err != nil {
+			return err
+		}
+		return sd.Render(w)
+	},
+	"ext-retfine": func(o Options, w io.Writer) error {
+		st, err := experiments.RunFineRefreshStudy(o, firstModule(o, "B6"))
+		if err != nil {
+			return err
+		}
+		return st.Render(w)
+	},
+	"ext-power": func(o Options, w io.Writer) error {
+		ps, err := experiments.RunPowerStudy(o, firstModule(o, "B3"))
+		if err != nil {
+			return err
+		}
+		return ps.Render(w)
+	},
+}
+
+// firstModule returns the first selected module name or the fallback.
+func firstModule(o Options, fallback string) string {
+	if len(o.ModuleNames) > 0 {
+		return o.ModuleNames[0]
+	}
+	return fallback
+}
+
+// ExperimentNames lists the runnable experiment ids in stable order.
+func ExperimentNames() []string {
+	names := make([]string, 0, len(experimentRunners))
+	for n := range experimentRunners {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunExperiment regenerates one of the paper's tables or figures (or an
+// ablation) by id, writing the result to w.
+func RunExperiment(name string, o Options, w io.Writer) error {
+	run, ok := experimentRunners[name]
+	if !ok {
+		return fmt.Errorf("rhvpp: unknown experiment %q (known: %v)", name, ExperimentNames())
+	}
+	return run(o, w)
+}

@@ -1,0 +1,88 @@
+package rhvpp
+
+import (
+	"github.com/dramstudy/rhvpp/internal/mitigation"
+)
+
+// Safe-operation API: the mitigations §8 of the paper proposes for running
+// DRAM at reduced VPP — SECDED ECC, selective double-rate refresh, and
+// VPP-aware provisioning of RowHammer defenses.
+
+// RefreshPlan assigns a doubled refresh rate to retention-weak rows.
+type RefreshPlan = mitigation.RefreshPlan
+
+// ECCStats summarizes corrections performed by the SECDED data path during
+// one row read.
+type ECCStats = mitigation.ReadStats
+
+// BuildRefreshPlan profiles the given rows with the Alg. 3 retention sweep
+// and returns the plan that refreshes rows failing at the nominal window
+// twice as often (Obsv. 15: only a small fraction of rows needs this).
+func (l *Lab) BuildRefreshPlan(rows []int, nominalWindowMS float64) (RefreshPlan, error) {
+	var results []RetentionResult
+	for _, row := range rows {
+		res, err := l.tester.RetentionSweep(row, 0)
+		if err != nil {
+			return RefreshPlan{}, err
+		}
+		results = append(results, res)
+	}
+	return mitigation.BuildRefreshPlan(results, nominalWindowMS), nil
+}
+
+// VerifyRefreshPlan replays the plan against the device and returns how many
+// rows still flipped (0 = the plan eliminates all retention errors).
+func (l *Lab) VerifyRefreshPlan(plan RefreshPlan, rows []int) (int, error) {
+	return mitigation.Verify(l.tester, plan, rows, 0xAA)
+}
+
+// ECCRetentionCheck initializes the given rows through a SECDED(72,64) data
+// path, waits one refresh window, and reads them back with correction. It
+// returns the total corrected and uncorrectable word counts and whether
+// every delivered row was clean.
+func (l *Lab) ECCRetentionCheck(rows []int, windowMS float64) (stats ECCStats, clean bool, err error) {
+	e := mitigation.NewECCController(l.tb.Controller, l.tester.Config().Bank)
+	clean = true
+	const fill = 0xAA
+	for _, row := range rows {
+		if err := e.InitializeRow(row, fill); err != nil {
+			return stats, false, err
+		}
+		if err := e.Controller().WaitMS(windowMS); err != nil {
+			return stats, false, err
+		}
+		data, st, err := e.ReadRow(row)
+		if err != nil {
+			return stats, false, err
+		}
+		stats.Corrected += st.Corrected
+		stats.Uncorrectable += st.Uncorrectable
+		for _, b := range data {
+			if b != fill {
+				clean = false
+				break
+			}
+		}
+	}
+	return stats, clean, nil
+}
+
+// PARARequiredP returns the refresh probability the PARA defense needs to
+// bound RowHammer attack success by target on a device with the given
+// HCfirst. Reduced VPP raises HCfirst and therefore lowers the required
+// probability (and refresh overhead).
+func PARARequiredP(hcFirst, target float64) (float64, error) {
+	return mitigation.RequiredP(hcFirst, target)
+}
+
+// GrapheneCounters returns the Misra-Gries counter budget a Graphene-style
+// tracker needs for the given activation window and HCfirst.
+func GrapheneCounters(activationsPerWindow, hcFirst, safetyDiv float64) int {
+	return mitigation.CountersRequired(activationsPerWindow, hcFirst, safetyDiv)
+}
+
+// RecommendedVPPPolicy applies the Table 3 operating-point policy to a
+// measured sweep (argmax HCfirst, ties to lower BER then lower voltage).
+func RecommendedVPPPolicy(vpps, hcFirst, ber []float64) (float64, int, error) {
+	return mitigation.RecommendVPP(vpps, hcFirst, ber)
+}

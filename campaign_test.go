@@ -1,0 +1,216 @@
+package rhvpp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// campaignOptions is a tightly scoped campaign for fast Campaign tests.
+func campaignOptions(modules ...string) Options {
+	o := DefaultOptions()
+	o.Geometry = Geometry{Banks: 1, RowsPerBank: 4096, RowBytes: 512, SubarrayRows: 512}
+	cfg := QuickConfig()
+	cfg.MinHCStep = 4000
+	o.Config = cfg
+	o.Chunks = 2
+	o.RowsPerChunk = 3
+	o.VPPStride = 4
+	o.SpiceMCRuns = 20
+	o.RetentionVPPLevels = []float64{2.5, 1.9, 1.5}
+	o.ModuleNames = modules
+	return o
+}
+
+func TestNewCampaignValidatesModuleNames(t *testing.T) {
+	o := campaignOptions("B3", "ZZ")
+	if _, err := NewCampaign(o); err == nil {
+		t.Fatal("unknown module accepted")
+	} else if !strings.Contains(err.Error(), "ZZ") || !strings.Contains(err.Error(), "A0") {
+		t.Errorf("error should name the offender and the known labels: %v", err)
+	}
+	if _, err := NewCampaign(campaignOptions("B3")); err != nil {
+		t.Fatalf("valid module rejected: %v", err)
+	}
+}
+
+// TestCampaignCachesStudies is the acceptance property of the redesign:
+// running every experiment id that shares a study through one Campaign
+// executes each underlying study driver exactly once.
+func TestCampaignCachesStudies(t *testing.T) {
+	c, err := NewCampaign(campaignOptions("B3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := map[Study][]string{
+		StudyRowHammer:    {"table3", "fig3", "fig4", "fig5", "fig6", "summary", "abl-defense"},
+		StudyTRCD:         {"fig7", "guardband"},
+		StudyWaveforms:    {"fig8a", "fig9a"},
+		StudySpiceMC:      {"fig8b", "fig9b"},
+		StudyRetention:    {"fig10a", "fig10b"},
+		StudyWordAnalysis: {"fig11"},
+	}
+	for study, ids := range groups {
+		for _, id := range ids {
+			var buf bytes.Buffer
+			if err := c.Run(t.Context(), id, NewTextEncoder(&buf)); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s produced no output", id)
+			}
+		}
+		if got := c.StudyRuns()[study]; got != 1 {
+			t.Errorf("study %s executed %d times across %v, want exactly 1", study, got, ids)
+		}
+	}
+}
+
+// TestCampaignConcurrentRunsShareOneExecution drives the same study from
+// many goroutines at once; the memoization must serialize to a single run.
+func TestCampaignConcurrentRunsShareOneExecution(t *testing.T) {
+	c, err := NewCampaign(campaignOptions("B3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"table3", "fig3", "fig5", "summary", "fig4", "fig6"}
+	var wg sync.WaitGroup
+	errs := make([]error, len(ids))
+	for i, id := range ids {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf bytes.Buffer
+			errs[i] = c.Run(t.Context(), id, NewTextEncoder(&buf))
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("%s: %v", ids[i], err)
+		}
+	}
+	if got := c.StudyRuns()[StudyRowHammer]; got != 1 {
+		t.Errorf("concurrent renders executed the RowHammer study %d times, want 1", got)
+	}
+}
+
+// TestCampaignWorkerCountDeterminism checks the other acceptance property:
+// per-study output is byte-identical at jobs=1 and jobs=8.
+func TestCampaignWorkerCountDeterminism(t *testing.T) {
+	render := func(jobs int) string {
+		o := campaignOptions("B3", "C0", "A3")
+		o.Jobs = jobs
+		c, err := NewCampaign(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		enc := NewTextEncoder(&buf)
+		for _, id := range []string{"table3", "fig5", "fig10b", "summary"} {
+			if err := c.Run(t.Context(), id, enc); err != nil {
+				t.Fatalf("jobs=%d %s: %v", jobs, id, err)
+			}
+		}
+		return buf.String()
+	}
+	if serial, parallel := render(1), render(8); serial != parallel {
+		t.Errorf("output differs between jobs=1 and jobs=8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+			serial, parallel)
+	}
+}
+
+func TestCampaignHonorsCancellation(t *testing.T) {
+	c, err := NewCampaign(campaignOptions("B3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(t.Context())
+	cancel()
+	var buf bytes.Buffer
+	if err := c.Run(ctx, "table3", NewTextEncoder(&buf)); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled run returned %v, want context.Canceled", err)
+	}
+	// A canceled attempt must not poison the session: the same campaign
+	// with a live context measures and succeeds.
+	buf.Reset()
+	if err := c.Run(t.Context(), "table3", NewTextEncoder(&buf)); err != nil {
+		t.Fatalf("run after cancellation failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "B3") {
+		t.Errorf("post-cancellation output wrong:\n%s", buf.String())
+	}
+}
+
+// TestCampaignStandaloneAblationUsesSharedStudy pins the descriptor
+// contract: abl-defense declares StudyRowHammer, so running it alone must
+// execute that study (once), not a private side sweep.
+func TestCampaignStandaloneAblationUsesSharedStudy(t *testing.T) {
+	c, err := NewCampaign(campaignOptions("B3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Run(t.Context(), "abl-defense", NewTextEncoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.StudyRuns()[StudyRowHammer]; got != 1 {
+		t.Errorf("abl-defense executed the RowHammer study %d times, want 1", got)
+	}
+}
+
+func TestExperimentDescriptors(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != len(ExperimentNames()) {
+		t.Fatalf("Experiments() has %d entries, ExperimentNames() %d", len(exps), len(ExperimentNames()))
+	}
+	for _, e := range exps {
+		if e.Title == "" || e.Section == "" {
+			t.Errorf("experiment %q lacks a title or section: %+v", e.ID, e)
+		}
+		got, ok := ExperimentByID(e.ID)
+		if !ok || got.Title != e.Title {
+			t.Errorf("ExperimentByID(%q) = %+v, %v", e.ID, got, ok)
+		}
+	}
+	for _, id := range []string{"table3", "fig3", "fig4", "fig5", "fig6", "summary"} {
+		e, _ := ExperimentByID(id)
+		if len(e.Studies) != 1 || e.Studies[0] != StudyRowHammer {
+			t.Errorf("%s should declare the RowHammer study dependency, got %v", id, e.Studies)
+		}
+	}
+	if _, ok := ExperimentByID("nope"); ok {
+		t.Error("bogus experiment id resolved")
+	}
+}
+
+func TestCampaignEncodersProduceDistinctFormats(t *testing.T) {
+	c, err := NewCampaign(campaignOptions("B3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs := map[Format]string{}
+	for _, f := range []Format{FormatText, FormatJSON, FormatCSV} {
+		var buf bytes.Buffer
+		enc, err := NewEncoder(f, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(t.Context(), "table1", enc); err != nil {
+			t.Fatal(err)
+		}
+		outputs[f] = buf.String()
+	}
+	if !strings.Contains(outputs[FormatJSON], `"kind":"table"`) {
+		t.Errorf("JSON output missing kind tag:\n%s", outputs[FormatJSON])
+	}
+	if !strings.HasPrefix(outputs[FormatCSV], "# Table 1") {
+		t.Errorf("CSV output missing title comment:\n%s", outputs[FormatCSV])
+	}
+	if !strings.Contains(outputs[FormatText], "Mfr") || strings.Contains(outputs[FormatText], `"kind"`) {
+		t.Errorf("text output wrong:\n%s", outputs[FormatText])
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/dramstudy/rhvpp"
 )
@@ -36,7 +37,11 @@ func run() error {
 
 	prof, ok := rhvpp.ModuleByName(*module)
 	if !ok {
-		return fmt.Errorf("unknown module %q", *module)
+		var known []string
+		for _, p := range rhvpp.Modules() {
+			known = append(known, p.Name)
+		}
+		return fmt.Errorf("unknown module %q (known: %s)", *module, strings.Join(known, " "))
 	}
 	lab := rhvpp.NewLab(prof, rhvpp.WithSeed(*seed))
 	fmt.Printf("module %s (%s, %dGb %s, die %s): HCfirst %.0f, BER %.2e at 2.5V; VPPmin %.1fV\n",

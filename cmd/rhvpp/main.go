@@ -1,37 +1,56 @@
 // Command rhvpp regenerates the paper's tables and figures from the
 // simulated study. Each experiment id corresponds to one table/figure of the
-// evaluation (see DESIGN.md for the full index):
+// evaluation (see DESIGN.md for the full index). All ids run within one
+// Campaign session, so experiments sharing a study (e.g. table3 and fig3-6)
+// measure the hardware once; module sweeps run -jobs modules at a time with
+// byte-identical output at any worker count, and ctrl-C cancels the sweep.
 //
 //	rhvpp -list
 //	rhvpp -exp table3
 //	rhvpp -exp fig5 -modules B3,C0 -rows 8
-//	rhvpp -exp fig8b -mc 1000
-//	rhvpp -exp all -out results/
+//	rhvpp -exp fig8b -mc 1000 -format json
+//	rhvpp -exp all -jobs 8 -out results/ -format csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"text/tabwriter"
 
 	"github.com/dramstudy/rhvpp"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rhvpp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+// outExt maps formats to output-file extensions for -out. Validation is the
+// encoder's job (rhvpp.NewEncoder); this map only picks file names, so a
+// format it doesn't know falls back to ".out".
+var outExt = map[rhvpp.Format]string{
+	rhvpp.FormatText: ".txt",
+	rhvpp.FormatJSON: ".json",
+	rhvpp.FormatCSV:  ".csv",
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("rhvpp", flag.ContinueOnError)
 	var (
 		exp     = fs.String("exp", "", "experiment id to run (or 'all'); see -list")
-		list    = fs.Bool("list", false, "list experiment ids and exit")
+		list    = fs.Bool("list", false, "list experiment ids with titles and paper sections, then exit")
+		format  = fs.String("format", "text", "output format: text, json, or csv")
+		jobs    = fs.Int("jobs", 0, "concurrent module sweeps (0 = one per CPU)")
 		modules = fs.String("modules", "", "comma-separated module subset (e.g. B3,C0); empty = all 30")
 		rows    = fs.Int("rows", 0, "rows per chunk (0 = default)")
 		chunks  = fs.Int("chunks", 0, "row chunks per module (0 = default)")
@@ -39,21 +58,39 @@ func run(args []string, stdout io.Writer) error {
 		stride  = fs.Int("stride", 0, "VPP sweep stride (1 = every 0.1V level)")
 		mcRuns  = fs.Int("mc", 0, "SPICE Monte-Carlo runs per voltage (0 = default)")
 		full    = fs.Bool("full", false, "use the paper's full-scale parameters (very slow)")
-		outDir  = fs.String("out", "", "write each experiment's output to <out>/<id>.txt instead of stdout")
+		outDir  = fs.String("out", "", "write each experiment's output to <out>/<id>.<ext> instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *list {
-		for _, n := range rhvpp.ExperimentNames() {
-			fmt.Fprintln(stdout, n)
+		tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+		for _, e := range rhvpp.Experiments() {
+			studies := make([]string, 0, len(e.Studies))
+			for _, s := range e.Studies {
+				studies = append(studies, string(s))
+			}
+			dep := "-"
+			if len(studies) > 0 {
+				dep = strings.Join(studies, ",")
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", e.ID, e.Title, e.Section, dep)
 		}
-		return nil
+		return tw.Flush()
 	}
 	if *exp == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -exp (use -list to see experiment ids)")
+	}
+
+	f := rhvpp.Format(*format)
+	if _, err := rhvpp.NewEncoder(f, io.Discard); err != nil {
+		return err
+	}
+	ext, ok := outExt[f]
+	if !ok {
+		ext = ".out"
 	}
 
 	o := rhvpp.DefaultOptions()
@@ -78,29 +115,40 @@ func run(args []string, stdout io.Writer) error {
 	if *mcRuns > 0 {
 		o.SpiceMCRuns = *mcRuns
 	}
+	o.Jobs = *jobs
+
+	c, err := rhvpp.NewCampaign(o)
+	if err != nil {
+		return err
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = rhvpp.ExperimentNames()
+		ids = ids[:0]
+		for _, e := range rhvpp.Experiments() {
+			ids = append(ids, e.ID)
+		}
 	}
 	for _, id := range ids {
 		w := stdout
-		var f *os.File
+		var fh *os.File
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				return err
 			}
-			var err error
-			f, err = os.Create(filepath.Join(*outDir, id+".txt"))
+			fh, err = os.Create(filepath.Join(*outDir, id+ext))
 			if err != nil {
 				return err
 			}
-			w = f
+			w = fh
 		}
 		fmt.Fprintf(stdout, "== %s ==\n", id)
-		err := rhvpp.RunExperiment(id, o, w)
-		if f != nil {
-			f.Close()
+		enc, err := rhvpp.NewEncoder(f, w)
+		if err == nil {
+			err = c.Run(ctx, id, enc)
+		}
+		if fh != nil {
+			fh.Close()
 		}
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestListExperiments(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-list"}, &buf); err != nil {
+	if err := run(t.Context(), []string{"-list"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -19,25 +20,49 @@ func TestListExperiments(t *testing.T) {
 			t.Errorf("-list missing %q:\n%s", want, out)
 		}
 	}
+	// The listing carries titles and paper sections from the descriptors.
+	for _, want := range []string{"Module RowHammer characteristics", "§5, Table 3", "rowhammer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing descriptor text %q:\n%s", want, out)
+		}
+	}
 }
 
 func TestMissingExperimentFlag(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(nil, &buf); err == nil {
+	if err := run(t.Context(), nil, &buf); err == nil {
 		t.Error("missing -exp accepted")
 	}
 }
 
 func TestUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-exp", "nope"}, &buf); err == nil {
+	if err := run(t.Context(), []string{"-exp", "nope"}, &buf); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(t.Context(), []string{"-exp", "table2", "-format", "yaml"}, &buf); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestUnknownModuleRejectedUpFront(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(t.Context(), []string{"-exp", "table2", "-modules", "B3,QQ"}, &buf)
+	if err == nil {
+		t.Fatal("unknown module accepted")
+	}
+	if !strings.Contains(err.Error(), "QQ") {
+		t.Errorf("error does not name the unknown module: %v", err)
 	}
 }
 
 func TestRunTable2(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-exp", "table2"}, &buf); err != nil {
+	if err := run(t.Context(), []string{"-exp", "table2"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "16.8 fF") {
@@ -45,10 +70,31 @@ func TestRunTable2(t *testing.T) {
 	}
 }
 
+func TestRunTable2JSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(t.Context(), []string{"-exp", "table2", "-format", "json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Skip the "== table2 ==" banner, then expect one JSON object.
+	out := buf.String()
+	idx := strings.Index(out, "\n")
+	var el struct {
+		Kind    string     `json:"kind"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out[idx+1:]), &el); err != nil {
+		t.Fatalf("output after banner is not JSON: %v\n%s", err, out)
+	}
+	if el.Kind != "table" || len(el.Rows) == 0 {
+		t.Errorf("unexpected JSON element: %+v", el)
+	}
+}
+
 func TestRunScopedExperimentWithFlags(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-exp", "summary", "-modules", "B3", "-rows", "3",
-		"-chunks", "2", "-stride", "4", "-seed", "9"}, &buf)
+	err := run(t.Context(), []string{"-exp", "summary", "-modules", "B3", "-rows", "3",
+		"-chunks", "2", "-stride", "4", "-seed", "9", "-jobs", "2"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +106,7 @@ func TestRunScopedExperimentWithFlags(t *testing.T) {
 func TestOutDirWritesFiles(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := run([]string{"-exp", "table1", "-out", dir}, &buf); err != nil {
+	if err := run(t.Context(), []string{"-exp", "table1", "-out", dir}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "table1.txt"))
@@ -69,5 +115,20 @@ func TestOutDirWritesFiles(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "272") {
 		t.Error("written file missing content")
+	}
+}
+
+func TestOutDirUsesFormatExtension(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(t.Context(), []string{"-exp", "table1", "-out", dir, "-format", "csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Mfr,#DIMMs") {
+		t.Errorf("CSV output missing header:\n%s", data)
 	}
 }

@@ -1,0 +1,3 @@
+module github.com/dramstudy/rhvpp
+
+go 1.24

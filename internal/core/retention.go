@@ -69,6 +69,9 @@ func (t *Tester) RetentionSweep(row int, wcdp pattern.Kind) (RetentionResult, er
 	}
 	res := RetentionResult{Row: row, WCDP: wcdp}
 	for _, win := range t.cfg.RetentionWindowsMS {
+		if err := t.interrupted(); err != nil {
+			return RetentionResult{}, err
+		}
 		worst := 0.0
 		for i := 0; i < t.cfg.Iterations; i++ {
 			ber, err := t.measureRetentionBER(row, wcdp, win)
@@ -97,6 +100,9 @@ func (t *Tester) SelectRetentionWCDP(row int) (pattern.Kind, error) {
 	bestFirst := 0.0 // 0 = never failed
 	bestTieBER := -1.0
 	for _, k := range pattern.All() {
+		if err := t.interrupted(); err != nil {
+			return best, err
+		}
 		first := 0.0
 		for _, win := range windows {
 			ber, err := t.measureRetentionBER(row, k, win)
@@ -158,6 +164,9 @@ func (t *Tester) RetentionFirstFailMS(row int, pat pattern.Kind, loMS, hiMS, res
 		}
 	}
 	failsAt := func(win float64) (bool, error) {
+		if err := t.interrupted(); err != nil {
+			return false, err
+		}
 		for i := 0; i < t.cfg.Iterations; i++ {
 			ber, err := t.measureRetentionBER(row, pat, win)
 			if err != nil {

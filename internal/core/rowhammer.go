@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/dramstudy/rhvpp/internal/mapping"
@@ -15,12 +16,31 @@ type Tester struct {
 	ctrl *softmc.Controller
 	cfg  Config
 	adj  mapping.AdjacencyMap // optional: probed adjacency overrides the scheme
+	ctx  context.Context      // cancels the characterization loops
 }
 
 // NewTester builds a tester for a controller.
 func NewTester(ctrl *softmc.Controller, cfg Config) *Tester {
-	return &Tester{ctrl: ctrl, cfg: cfg}
+	return &Tester{ctrl: ctrl, cfg: cfg, ctx: context.Background()}
 }
+
+// WithContext returns a tester whose characterization loops (HCfirst search,
+// tRCD sweep, retention ladder, WCDP profiling) stop with the context's
+// error once ctx is canceled. The controller and probed adjacency are
+// shared with the receiver; a canceled sweep leaves the device in whatever
+// state the last issued command produced, exactly like pulling the plug on
+// the FPGA mid-run.
+func (t *Tester) WithContext(ctx context.Context) *Tester {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Tester{ctrl: t.ctrl, cfg: t.cfg, adj: t.adj, ctx: ctx}
+}
+
+// interrupted reports the context's error, if any. The characterization
+// loops call it at iteration boundaries so cancellation never tears a
+// single DRAM command apart.
+func (t *Tester) interrupted() error { return t.ctx.Err() }
 
 // Controller returns the underlying controller.
 func (t *Tester) Controller() *softmc.Controller { return t.ctrl }
@@ -92,6 +112,9 @@ func (t *Tester) MeasureBER(victim int, pat pattern.Kind, hc int) (float64, erro
 func (t *Tester) MeasureBERSeries(victim int, pat pattern.Kind, hc, n int) ([]float64, error) {
 	out := make([]float64, 0, n)
 	for i := 0; i < n; i++ {
+		if err := t.interrupted(); err != nil {
+			return nil, err
+		}
 		ber, err := t.MeasureBER(victim, pat, hc)
 		if err != nil {
 			return nil, err
@@ -106,6 +129,9 @@ func (t *Tester) MeasureBERSeries(victim int, pat pattern.Kind, hc, n int) ([]fl
 func (t *Tester) measureBERMax(victim int, pat pattern.Kind, hc, iters int) (float64, error) {
 	max := 0.0
 	for i := 0; i < iters; i++ {
+		if err := t.interrupted(); err != nil {
+			return 0, err
+		}
 		ber, err := t.MeasureBER(victim, pat, hc)
 		if err != nil {
 			return 0, err
@@ -124,6 +150,9 @@ func (t *Tester) HCFirstSearch(victim int, pat pattern.Kind, iters int) (int, er
 	hc := t.cfg.RefHC
 	step := t.cfg.InitialHCStep
 	for step > t.cfg.MinHCStep {
+		if err := t.interrupted(); err != nil {
+			return 0, err
+		}
 		berMax, err := t.measureBERMax(victim, pat, hc, iters)
 		if err != nil {
 			return 0, err
@@ -159,6 +188,9 @@ func (t *Tester) SelectWCDP(victim int) (pattern.Kind, error) {
 	bestBER := -1.0
 	first := true
 	for _, k := range pattern.All() {
+		if err := t.interrupted(); err != nil {
+			return best, err
+		}
 		hc, err := t.HCFirstSearch(victim, k, t.cfg.WCDPIterations)
 		if err != nil {
 			return best, err

@@ -22,6 +22,9 @@ func (t *Tester) rowFaultyAtTRCD(row int, pat pattern.Kind, iters int) (bool, er
 	cols := t.ctrl.Module().Geometry().Columns()
 	want := pat.Byte()
 	for i := 0; i < iters; i++ {
+		if err := t.interrupted(); err != nil {
+			return false, err
+		}
 		for col := 0; col < cols; col++ {
 			// initialize_row runs with safe nominal timing.
 			trcd := t.ctrl.Timing().TRCD
@@ -56,6 +59,9 @@ func (t *Tester) TRCDMinSearch(row int, pat pattern.Kind, iters int) (float64, e
 	foundFaulty, foundReliable := false, false
 	minReliable := 0.0
 	for !foundFaulty || !foundReliable {
+		if err := t.interrupted(); err != nil {
+			return 0, err
+		}
 		if trcd > t.cfg.TRCDMaxNS {
 			return 0, fmt.Errorf("row %d: tRCD sweep exceeded %.1fns: %w", row, t.cfg.TRCDMaxNS, ErrSweepDiverged)
 		}

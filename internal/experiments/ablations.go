@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
 
 	"github.com/dramstudy/rhvpp/internal/core"
 	"github.com/dramstudy/rhvpp/internal/dram"
@@ -28,7 +28,7 @@ type AttackComparison struct {
 }
 
 // RunAttackComparison hammers sample victims with the three attack shapes.
-func RunAttackComparison(o Options, moduleName string, hc int) (AttackComparison, error) {
+func RunAttackComparison(ctx context.Context, o Options, moduleName string, hc int) (AttackComparison, error) {
 	prof, ok := physics.ProfileByName(moduleName)
 	if !ok {
 		return AttackComparison{}, fmt.Errorf("unknown module %s", moduleName)
@@ -63,6 +63,9 @@ func RunAttackComparison(o Options, moduleName string, hc int) (AttackComparison
 
 	victims := []int{100, 140, 180, 220, 260, 300}
 	for i, v := range victims {
+		if err := ctx.Err(); err != nil {
+			return cmp, err
+		}
 		base := v + i // avoid reusing rows across shapes
 		n, err := countVictimFlips(base, func(_, lo, _ int) error {
 			return ctrl.Hammer(0, lo, hc)
@@ -106,8 +109,8 @@ func RunAttackComparison(o Options, moduleName string, hc int) (AttackComparison
 	return cmp, nil
 }
 
-// Render prints the comparison.
-func (c AttackComparison) Render(w io.Writer) error {
+// Render emits the comparison.
+func (c AttackComparison) Render(enc report.Encoder) error {
 	t := &report.Table{
 		Title:   fmt.Sprintf("Ablation: attack shapes at %d activations per aggressor", c.HC),
 		Headers: []string{"attack", "total victim flips"},
@@ -115,7 +118,7 @@ func (c AttackComparison) Render(w io.Writer) error {
 	t.Add("single-sided", c.SingleFlips)
 	t.Add("double-sided", c.DoubleFlips)
 	t.Add(fmt.Sprintf("many-sided (%d pairs, split budget)", c.Pairs), c.ManySidedFlips)
-	return t.Render(w)
+	return enc.Table(t)
 }
 
 // WCDPStability is the §4.2 footnote-9 ablation: how often the worst-case
@@ -128,7 +131,7 @@ type WCDPStability struct {
 }
 
 // RunWCDPStability re-profiles WCDP at VPPmin on a sample module.
-func RunWCDPStability(o Options, moduleName string) (WCDPStability, error) {
+func RunWCDPStability(ctx context.Context, o Options, moduleName string) (WCDPStability, error) {
 	prof, ok := physics.ProfileByName(moduleName)
 	if !ok {
 		return WCDPStability{}, fmt.Errorf("unknown module %s", moduleName)
@@ -141,7 +144,7 @@ func RunWCDPStability(o Options, moduleName string) (WCDPStability, error) {
 	if cfg.WCDPIterations < 4 {
 		cfg.WCDPIterations = 4
 	}
-	tester := core.NewTester(tb.Controller, cfg)
+	tester := core.NewTester(tb.Controller, cfg).WithContext(ctx)
 	rows := selectVictims(tester, o)
 	var st WCDPStability
 	for _, row := range rows {
@@ -184,8 +187,8 @@ func RunWCDPStability(o Options, moduleName string) (WCDPStability, error) {
 	return st, nil
 }
 
-// Render prints the stability ablation.
-func (s WCDPStability) Render(w io.Writer) error {
+// Render emits the stability ablation.
+func (s WCDPStability) Render(enc report.Encoder) error {
 	t := &report.Table{
 		Title:   "Ablation: WCDP stability across VPP (paper: 2.4% of rows change, <9% HCfirst deviation)",
 		Headers: []string{"metric", "value"},
@@ -197,7 +200,7 @@ func (s WCDPStability) Render(w io.Writer) error {
 	}
 	t.Add("rows whose WCDP changed", fmt.Sprintf("%d (%.1f%%)", s.RowsChanged, frac*100))
 	t.Add("max HCfirst deviation from reusing nominal WCDP", fmt.Sprintf("%.1f%%", s.MaxDeviation*100))
-	return t.Render(w)
+	return enc.Table(t)
 }
 
 // TRRAblation shows why the methodology starves TRR: the same double-sided
@@ -210,7 +213,7 @@ type TRRAblation struct {
 }
 
 // RunTRRAblation attacks a TRR-equipped clone of a module both ways.
-func RunTRRAblation(o Options, moduleName string, hc int) (TRRAblation, error) {
+func RunTRRAblation(ctx context.Context, o Options, moduleName string, hc int) (TRRAblation, error) {
 	prof, ok := physics.ProfileByName(moduleName)
 	if !ok {
 		return TRRAblation{}, fmt.Errorf("unknown module %s", moduleName)
@@ -223,6 +226,9 @@ func RunTRRAblation(o Options, moduleName string, hc int) (TRRAblation, error) {
 		sch := mod.Scheme()
 		total := 0
 		for _, victimPhys := range []int{100, 160, 220} {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
 			victim := sch.PhysicalToLogical(victimPhys)
 			lo := sch.PhysicalToLogical(victimPhys - 1)
 			hi := sch.PhysicalToLogical(victimPhys + 1)
@@ -266,15 +272,15 @@ func RunTRRAblation(o Options, moduleName string, hc int) (TRRAblation, error) {
 	return ab, nil
 }
 
-// Render prints the TRR ablation.
-func (a TRRAblation) Render(w io.Writer) error {
+// Render emits the TRR ablation.
+func (a TRRAblation) Render(enc report.Encoder) error {
 	t := &report.Table{
 		Title:   fmt.Sprintf("Ablation: TRR interaction (%d hammers/side, %d victims)", a.HCPerSide, a.VictimsAttacked),
 		Headers: []string{"refresh commands", "victim flips"},
 	}
 	t.Add("starved (paper's method)", a.FlipsStarved)
 	t.Add("interleaved (TRR active)", a.FlipsWithREF)
-	return t.Render(w)
+	return enc.Table(t)
 }
 
 // DefenseCost quantifies how reduced VPP cheapens deployed defenses: PARA's
@@ -308,8 +314,8 @@ func RunDefenseCost(sweep ModuleSweep) (DefenseCost, error) {
 	return dc, nil
 }
 
-// Render prints the defense-cost table.
-func (d DefenseCost) Render(w io.Writer) error {
+// Render emits the defense-cost table.
+func (d DefenseCost) Render(enc report.Encoder) error {
 	t := &report.Table{
 		Title:   fmt.Sprintf("Ablation: defense cost vs VPP on %s (PARA target %.0e)", d.Module, d.TargetWin),
 		Headers: []string{"VPP", "HCfirst", "PARA refresh prob", "Graphene counters"},
@@ -318,7 +324,7 @@ func (d DefenseCost) Render(w io.Writer) error {
 		t.Add(fmt.Sprintf("%.1f", d.VPP[i]), d.HCFirst[i],
 			fmt.Sprintf("%.2e", d.PARAProb[i]), d.Graphene[i])
 	}
-	return t.Render(w)
+	return enc.Table(t)
 }
 
 // SECDEDCoverage extends Obsv. 14: the fraction of retention-failing rows
@@ -333,7 +339,7 @@ type SECDEDCoverage struct {
 }
 
 // RunSECDEDCoverage measures word-level correctability per window at VPPmin.
-func RunSECDEDCoverage(o Options, moduleName string) (SECDEDCoverage, error) {
+func RunSECDEDCoverage(ctx context.Context, o Options, moduleName string) (SECDEDCoverage, error) {
 	prof, ok := physics.ProfileByName(moduleName)
 	if !ok {
 		return SECDEDCoverage{}, fmt.Errorf("unknown module %s", moduleName)
@@ -350,6 +356,9 @@ func RunSECDEDCoverage(o Options, moduleName string) (SECDEDCoverage, error) {
 	cov := SECDEDCoverage{Module: moduleName, WindowsMS: []float64{64, 128, 256, 512, 1024, 2048}}
 	const fill = 0xAA
 	for _, win := range cov.WindowsMS {
+		if err := ctx.Err(); err != nil {
+			return cov, err
+		}
 		failing, correctable := 0, 0
 		for _, row := range rows {
 			if err := ctrl.InitializeRow(0, row, fill); err != nil {
@@ -393,8 +402,8 @@ func countSECDEDSafe(data []byte, fill byte) bool {
 	return true
 }
 
-// Render prints SECDED coverage per window.
-func (c SECDEDCoverage) Render(w io.Writer) error {
+// Render emits SECDED coverage per window.
+func (c SECDEDCoverage) Render(enc report.Encoder) error {
 	t := &report.Table{
 		Title:   fmt.Sprintf("Ablation: SECDED coverage of retention failures on %s at VPPmin", c.Module),
 		Headers: []string{"window (ms)", "failing rows", "fully correctable", "coverage"},
@@ -406,5 +415,5 @@ func (c SECDEDCoverage) Render(w io.Writer) error {
 		}
 		t.Add(c.WindowsMS[i], c.FailingRows[i], c.CorrectableRows[i], fmt.Sprintf("%.0f%%", covPct))
 	}
-	return t.Render(w)
+	return enc.Table(t)
 }

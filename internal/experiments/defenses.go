@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
 
 	"github.com/dramstudy/rhvpp/internal/attack"
 	"github.com/dramstudy/rhvpp/internal/dram"
@@ -27,7 +27,7 @@ type DefenseShowdown struct {
 }
 
 // RunDefenseShowdown executes the grid on one module.
-func RunDefenseShowdown(o Options, moduleName string, budget, refEvery int) (DefenseShowdown, error) {
+func RunDefenseShowdown(ctx context.Context, o Options, moduleName string, budget, refEvery int) (DefenseShowdown, error) {
 	prof, ok := physics.ProfileByName(moduleName)
 	if !ok {
 		return DefenseShowdown{}, fmt.Errorf("unknown module %s", moduleName)
@@ -53,6 +53,9 @@ func RunDefenseShowdown(o Options, moduleName string, budget, refEvery int) (Def
 	}
 	victims := []int{100, 140, 180, 220, 260}
 	for _, pat := range patterns {
+		if err := ctx.Err(); err != nil {
+			return sd, err
+		}
 		sd.Attacks = append(sd.Attacks, pat.Name())
 		var row []int
 		for _, d := range defenses {
@@ -75,8 +78,8 @@ func RunDefenseShowdown(o Options, moduleName string, budget, refEvery int) (Def
 	return sd, nil
 }
 
-// Render prints the showdown grid.
-func (sd DefenseShowdown) Render(w io.Writer) error {
+// Render emits the showdown grid.
+func (sd DefenseShowdown) Render(enc report.Encoder) error {
 	t := &report.Table{
 		Title: fmt.Sprintf("Extension: attack shapes vs in-DRAM defenses on %s (budget %d, REF every %d ACTs)",
 			sd.Module, sd.Budget, sd.RefEvery),
@@ -89,10 +92,9 @@ func (sd DefenseShowdown) Render(w io.Writer) error {
 		}
 		t.Add(cells...)
 	}
-	if err := t.Render(w); err != nil {
+	if err := enc.Table(t); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintln(w, "expected shape: double-sided dominates undefended; the counter-based\n"+
+	return enc.Note("expected shape: double-sided dominates undefended; the counter-based\n" +
 		"tracker absorbs every shape; the sampler falls to the decoy flood.")
-	return err
 }

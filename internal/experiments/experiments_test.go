@@ -2,12 +2,15 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
 
 	"github.com/dramstudy/rhvpp/internal/core"
 	"github.com/dramstudy/rhvpp/internal/physics"
+	"github.com/dramstudy/rhvpp/internal/report"
 )
 
 // testOptions is a tightly scoped campaign for fast tests.
@@ -27,7 +30,7 @@ func testOptions(modules ...string) Options {
 
 func TestModuleSweepB3ShowsHCFirstIncrease(t *testing.T) {
 	prof, _ := physics.ProfileByName("B3")
-	sw, err := RunModuleSweep(testOptions("B3"), prof)
+	sw, err := RunModuleSweep(t.Context(), testOptions("B3"), prof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +62,7 @@ func TestModuleSweepB3ShowsHCFirstIncrease(t *testing.T) {
 func TestModuleSweepNominalMatchesTable3(t *testing.T) {
 	for _, name := range []string{"B0", "A3"} {
 		prof, _ := physics.ProfileByName(name)
-		sw, err := RunModuleSweep(testOptions(name), prof)
+		sw, err := RunModuleSweep(t.Context(), testOptions(name), prof)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +85,7 @@ func TestModuleSweepNominalMatchesTable3(t *testing.T) {
 }
 
 func TestRowHammerStudyRenders(t *testing.T) {
-	st, err := RunRowHammerStudy(testOptions("B3", "C0"))
+	st, err := RunRowHammerStudy(t.Context(), testOptions("B3", "C0"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,12 +94,12 @@ func TestRowHammerStudyRenders(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	for _, render := range []func(*bytes.Buffer) error{
-		func(b *bytes.Buffer) error { return st.RenderFig3(b) },
-		func(b *bytes.Buffer) error { return st.RenderFig4(b) },
-		func(b *bytes.Buffer) error { return st.RenderFig5(b) },
-		func(b *bytes.Buffer) error { return st.RenderFig6(b) },
+		func(b *bytes.Buffer) error { return st.RenderFig3(report.NewText(b)) },
+		func(b *bytes.Buffer) error { return st.RenderFig4(report.NewText(b)) },
+		func(b *bytes.Buffer) error { return st.RenderFig5(report.NewText(b)) },
+		func(b *bytes.Buffer) error { return st.RenderFig6(report.NewText(b)) },
 		func(b *bytes.Buffer) error { return st.Table3().Render(b) },
-		func(b *bytes.Buffer) error { return st.Section5Aggregates().Render(b) },
+		func(b *bytes.Buffer) error { return st.Section5Aggregates().Render(report.NewText(b)) },
 	} {
 		buf.Reset()
 		if err := render(&buf); err != nil {
@@ -109,7 +112,7 @@ func TestRowHammerStudyRenders(t *testing.T) {
 }
 
 func TestSection5AggregatesDirections(t *testing.T) {
-	st, err := RunRowHammerStudy(testOptions("B3", "C0", "C6"))
+	st, err := RunRowHammerStudy(t.Context(), testOptions("B3", "C0", "C6"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +136,7 @@ func TestSection5AggregatesDirections(t *testing.T) {
 func TestTRCDSweepPassingAndFailing(t *testing.T) {
 	o := testOptions()
 	passProf, _ := physics.ProfileByName("C0")
-	pass, err := RunTRCDSweep(o, passProf)
+	pass, err := RunTRCDSweep(t.Context(), o, passProf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +151,7 @@ func TestTRCDSweepPassingAndFailing(t *testing.T) {
 	}
 
 	failProf, _ := physics.ProfileByName("B2")
-	fail, err := RunTRCDSweep(o, failProf)
+	fail, err := RunTRCDSweep(t.Context(), o, failProf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +165,7 @@ func TestTRCDSweepPassingAndFailing(t *testing.T) {
 
 func TestTRCDStudySummary(t *testing.T) {
 	o := testOptions("C0", "B2", "A3", "B0", "C2")
-	st, err := RunTRCDStudy(o)
+	st, err := RunTRCDStudy(t.Context(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,10 +180,10 @@ func TestTRCDStudySummary(t *testing.T) {
 		t.Error("fixes not verified")
 	}
 	var buf bytes.Buffer
-	if err := st.RenderFig7(&buf); err != nil {
+	if err := st.RenderFig7(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Render(&buf); err != nil {
+	if err := s.Render(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "guardband") {
@@ -190,7 +193,7 @@ func TestTRCDStudySummary(t *testing.T) {
 
 func TestTable1Renders(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table1(&buf); err != nil {
+	if err := Table1(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -201,7 +204,7 @@ func TestTable1Renders(t *testing.T) {
 
 func TestTable2Renders(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table2(&buf); err != nil {
+	if err := Table2(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"16.8 fF", "100.5 fF", "55 nm"} {
@@ -212,7 +215,7 @@ func TestTable2Renders(t *testing.T) {
 }
 
 func TestWaveformsShapes(t *testing.T) {
-	wf, err := RunWaveforms()
+	wf, err := RunWaveforms(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,17 +236,17 @@ func TestWaveformsShapes(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := wf.RenderFig8a(&buf); err != nil {
+	if err := wf.RenderFig8a(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
-	if err := wf.RenderFig9a(&buf); err != nil {
+	if err := wf.RenderFig9a(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestMCStudyShapes(t *testing.T) {
 	o := testOptions()
-	st, err := RunMCStudy(o)
+	st, err := RunMCStudy(t.Context(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,10 +261,10 @@ func TestMCStudyShapes(t *testing.T) {
 		t.Errorf("2.5V reliability = %v", first.ReliableFraction())
 	}
 	var buf bytes.Buffer
-	if err := st.RenderFig8b(&buf); err != nil {
+	if err := st.RenderFig8b(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.RenderFig9b(&buf); err != nil {
+	if err := st.RenderFig9b(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -269,7 +272,7 @@ func TestMCStudyShapes(t *testing.T) {
 func TestRetentionStudyShapes(t *testing.T) {
 	o := testOptions("A3", "B0", "C0")
 	o.RowsPerChunk = 3
-	st, err := RunRetentionStudy(o)
+	st, err := RunRetentionStudy(t.Context(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,10 +300,10 @@ func TestRetentionStudyShapes(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := st.RenderFig10a(&buf); err != nil {
+	if err := st.RenderFig10a(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.RenderFig10b(&buf); err != nil {
+	if err := st.RenderFig10b(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -310,7 +313,7 @@ func TestWordAnalysisFig11(t *testing.T) {
 	o := testOptions("B6", "C5", "A3")
 	o.RowsPerChunk = 120
 	o.Chunks = 2
-	wa, err := RunWordAnalysis(o)
+	wa, err := RunWordAnalysis(t.Context(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,14 +333,14 @@ func TestWordAnalysisFig11(t *testing.T) {
 		t.Errorf("MfrA shows 64ms failures: %v", wa.Distribution64[physics.MfrA])
 	}
 	var buf bytes.Buffer
-	if err := wa.RenderFig11(&buf); err != nil {
+	if err := wa.RenderFig11(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCVStudyPercentiles(t *testing.T) {
 	o := testOptions("B0", "B7")
-	st, err := RunCVStudy(o)
+	st, err := RunCVStudy(t.Context(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,14 +355,14 @@ func TestCVStudyPercentiles(t *testing.T) {
 		t.Errorf("percentiles not ordered: %v %v %v", st.P90, st.P95, st.P99)
 	}
 	var buf bytes.Buffer
-	if err := st.Render(&buf); err != nil {
+	if err := st.Render(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestAttackComparison(t *testing.T) {
 	o := testOptions()
-	cmp, err := RunAttackComparison(o, "B0", 60000)
+	cmp, err := RunAttackComparison(t.Context(), o, "B0", 60000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,14 +376,14 @@ func TestAttackComparison(t *testing.T) {
 		t.Errorf("many-sided (%d) >= double (%d)", cmp.ManySidedFlips, cmp.DoubleFlips)
 	}
 	var buf bytes.Buffer
-	if err := cmp.Render(&buf); err != nil {
+	if err := cmp.Render(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestWCDPStability(t *testing.T) {
 	o := testOptions()
-	st, err := RunWCDPStability(o, "C0")
+	st, err := RunWCDPStability(t.Context(), o, "C0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,14 +396,14 @@ func TestWCDPStability(t *testing.T) {
 		t.Errorf("WCDP changed for %.0f%% of rows", frac*100)
 	}
 	var buf bytes.Buffer
-	if err := st.Render(&buf); err != nil {
+	if err := st.Render(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestTRRAblation(t *testing.T) {
 	o := testOptions()
-	ab, err := RunTRRAblation(o, "B0", 64000)
+	ab, err := RunTRRAblation(t.Context(), o, "B0", 64000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,14 +415,14 @@ func TestTRRAblation(t *testing.T) {
 			ab.FlipsWithREF, ab.FlipsStarved)
 	}
 	var buf bytes.Buffer
-	if err := ab.Render(&buf); err != nil {
+	if err := ab.Render(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestDefenseCost(t *testing.T) {
 	prof, _ := physics.ProfileByName("B3")
-	sw, err := RunModuleSweep(testOptions("B3"), prof)
+	sw, err := RunModuleSweep(t.Context(), testOptions("B3"), prof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -436,7 +439,7 @@ func TestDefenseCost(t *testing.T) {
 		t.Errorf("Graphene counters did not shrink: %d -> %d", dc.Graphene[first], dc.Graphene[last])
 	}
 	var buf bytes.Buffer
-	if err := dc.Render(&buf); err != nil {
+	if err := dc.Render(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -444,7 +447,7 @@ func TestDefenseCost(t *testing.T) {
 func TestSECDEDCoverage(t *testing.T) {
 	o := testOptions()
 	o.RowsPerChunk = 60
-	cov, err := RunSECDEDCoverage(o, "B6")
+	cov, err := RunSECDEDCoverage(t.Context(), o, "B6")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,19 +462,27 @@ func TestSECDEDCoverage(t *testing.T) {
 			cov.CorrectableRows[0], cov.FailingRows[0])
 	}
 	var buf bytes.Buffer
-	if err := cov.Render(&buf); err != nil {
+	if err := cov.Render(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestOptionsHelpers(t *testing.T) {
 	o := Default()
-	if len(o.profiles()) != 30 {
-		t.Errorf("default profiles = %d", len(o.profiles()))
+	profs, err := o.profiles()
+	if err != nil {
+		t.Fatal(err)
 	}
-	o.ModuleNames = []string{"B3", "XX", "C0"}
-	if got := len(o.profiles()); got != 2 {
-		t.Errorf("filtered profiles = %d, want 2", got)
+	if len(profs) != 30 {
+		t.Errorf("default profiles = %d", len(profs))
+	}
+	o.ModuleNames = []string{"B3", "C0"}
+	profs, err = o.profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 2 || profs[0].Name != "B3" || profs[1].Name != "C0" {
+		t.Errorf("filtered profiles = %v", profs)
 	}
 	prof, _ := physics.ProfileByName("B3")
 	o.VPPStride = 3
@@ -484,9 +495,80 @@ func TestOptionsHelpers(t *testing.T) {
 	}
 }
 
+func TestOptionsValidateRejectsUnknownModules(t *testing.T) {
+	o := Default()
+	o.ModuleNames = []string{"B3", "XX", "C0"}
+	err := o.Validate()
+	if err == nil {
+		t.Fatal("unknown module name accepted")
+	}
+	// The error must name the offender and teach the valid labels.
+	for _, want := range []string{"XX", "A0", "C9"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("validation error missing %q: %v", want, err)
+		}
+	}
+	o.ModuleNames = []string{"B3", "B3"}
+	if err := o.Validate(); err == nil {
+		t.Fatal("duplicate module name accepted")
+	}
+	o.ModuleNames = nil
+	if err := o.Validate(); err != nil {
+		t.Fatalf("empty module list rejected: %v", err)
+	}
+}
+
+func TestStudiesStopOnCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(t.Context())
+	cancel()
+	o := testOptions("B3")
+	if _, err := RunRowHammerStudy(ctx, o); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunRowHammerStudy error = %v, want context.Canceled", err)
+	}
+	if _, err := RunTRCDStudy(ctx, o); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunTRCDStudy error = %v, want context.Canceled", err)
+	}
+	if _, err := RunRetentionStudy(ctx, o); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunRetentionStudy error = %v, want context.Canceled", err)
+	}
+	if _, err := RunWaveforms(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunWaveforms error = %v, want context.Canceled", err)
+	}
+}
+
+func TestRowHammerStudyDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := testOptions("B3", "C0", "A3")
+	render := func(jobs int) string {
+		o := base
+		o.Jobs = jobs
+		st, err := RunRowHammerStudy(t.Context(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		enc := report.NewText(&buf)
+		if err := enc.Table(st.Table3()); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.RenderFig5(enc); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Section5Aggregates().Render(enc); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("output differs between jobs=1 and jobs=8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+			serial, parallel)
+	}
+}
+
 func TestTempInteraction(t *testing.T) {
 	o := testOptions()
-	ti, err := RunTempInteraction(o, "B3", []float64{50, 80})
+	ti, err := RunTempInteraction(t.Context(), o, "B3", []float64{50, 80})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -504,7 +586,7 @@ func TestTempInteraction(t *testing.T) {
 		t.Error("no per-row temperature responses collected")
 	}
 	var buf bytes.Buffer
-	if err := ti.Render(&buf); err != nil {
+	if err := ti.Render(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "future work") {
@@ -514,7 +596,7 @@ func TestTempInteraction(t *testing.T) {
 
 func TestDefenseShowdown(t *testing.T) {
 	o := testOptions()
-	sd, err := RunDefenseShowdown(o, "B0", 400_000, 4000)
+	sd, err := RunDefenseShowdown(t.Context(), o, "B0", 400_000, 4000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -548,7 +630,7 @@ func TestDefenseShowdown(t *testing.T) {
 			sd.Flips[decoy][sampler], sd.Flips[decoy][mg])
 	}
 	var buf bytes.Buffer
-	if err := sd.Render(&buf); err != nil {
+	if err := sd.Render(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -556,7 +638,7 @@ func TestDefenseShowdown(t *testing.T) {
 func TestFineRefreshStudy(t *testing.T) {
 	o := testOptions()
 	o.RowsPerChunk = 12 // x10 inside the driver = 120 rows/chunk
-	st, err := RunFineRefreshStudy(o, "B6")
+	st, err := RunFineRefreshStudy(t.Context(), o, "B6")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -573,14 +655,14 @@ func TestFineRefreshStudy(t *testing.T) {
 		t.Errorf("fine cost %.4f should exceed the nominal baseline", st.FineCost)
 	}
 	var buf bytes.Buffer
-	if err := st.Render(&buf); err != nil {
+	if err := st.Render(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestPowerStudy(t *testing.T) {
 	o := testOptions()
-	ps, err := RunPowerStudy(o, "B3")
+	ps, err := RunPowerStudy(t.Context(), o, "B3")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -597,7 +679,7 @@ func TestPowerStudy(t *testing.T) {
 		t.Errorf("B3 HCfirst collapsed at reduced VPP: %.0f -> %.0f", ps.HCFirst[0], ps.HCFirst[last])
 	}
 	var buf bytes.Buffer
-	if err := ps.Render(&buf); err != nil {
+	if err := ps.Render(report.NewText(&buf)); err != nil {
 		t.Fatal(err)
 	}
 }

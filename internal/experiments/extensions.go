@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
 
 	"github.com/dramstudy/rhvpp/internal/core"
 	"github.com/dramstudy/rhvpp/internal/infra"
@@ -31,7 +31,7 @@ type FineRefreshStudy struct {
 
 // RunFineRefreshStudy profiles one failing module at VPPmin and builds both
 // plans.
-func RunFineRefreshStudy(o Options, moduleName string) (FineRefreshStudy, error) {
+func RunFineRefreshStudy(ctx context.Context, o Options, moduleName string) (FineRefreshStudy, error) {
 	prof, ok := physics.ProfileByName(moduleName)
 	if !ok {
 		return FineRefreshStudy{}, fmt.Errorf("unknown module %s", moduleName)
@@ -43,7 +43,7 @@ func RunFineRefreshStudy(o Options, moduleName string) (FineRefreshStudy, error)
 	if err := tb.SetVPP(prof.VPPMin); err != nil {
 		return FineRefreshStudy{}, err
 	}
-	tester := core.NewTester(tb.Controller, o.Config)
+	tester := core.NewTester(tb.Controller, o.Config).WithContext(ctx)
 	rows := core.SelectRows(o.Geometry, o.Chunks, o.RowsPerChunk*10)
 
 	plan, err := mitigation.BuildFineRefreshPlan(tester, rows, physics.TREFWNominalMS, 1, 0.85)
@@ -68,8 +68,8 @@ func RunFineRefreshStudy(o Options, moduleName string) (FineRefreshStudy, error)
 	return st, nil
 }
 
-// Render prints the comparison.
-func (st FineRefreshStudy) Render(w io.Writer) error {
+// Render emits the comparison.
+func (st FineRefreshStudy) Render(enc report.Encoder) error {
 	t := &report.Table{
 		Title: fmt.Sprintf("Extension: fine-grained refresh windows on %s at VPPmin (paper footnote 14)",
 			st.Module),
@@ -85,7 +85,7 @@ func (st FineRefreshStudy) Render(w io.Writer) error {
 	}
 	t.Add("overhead saved vs blanket 2x", fmt.Sprintf("%.0f%%", save))
 	t.Add("plan verified flip-free", st.Verified)
-	return t.Render(w)
+	return enc.Table(t)
 }
 
 // PowerStudy tabulates the VPP rail's electrical cost across the sweep: the
@@ -103,13 +103,13 @@ type PowerStudy struct {
 
 // RunPowerStudy measures current/power across the sweep of one module while
 // the characterization workload runs.
-func RunPowerStudy(o Options, moduleName string) (PowerStudy, error) {
+func RunPowerStudy(ctx context.Context, o Options, moduleName string) (PowerStudy, error) {
 	prof, ok := physics.ProfileByName(moduleName)
 	if !ok {
 		return PowerStudy{}, fmt.Errorf("unknown module %s", moduleName)
 	}
 	tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
-	tester := core.NewTester(tb.Controller, o.Config)
+	tester := core.NewTester(tb.Controller, o.Config).WithContext(ctx)
 	rows := selectVictims(tester, o)
 	if len(rows) > 4 {
 		rows = rows[:4]
@@ -138,8 +138,8 @@ func RunPowerStudy(o Options, moduleName string) (PowerStudy, error) {
 	return ps, nil
 }
 
-// Render prints the power table.
-func (ps PowerStudy) Render(w io.Writer) error {
+// Render emits the power table.
+func (ps PowerStudy) Render(enc report.Encoder) error {
 	t := &report.Table{
 		Title:   fmt.Sprintf("Extension: VPP rail electrical cost vs RowHammer benefit on %s", ps.Module),
 		Headers: []string{"VPP (V)", "rail current (mA)", "rail power (mW)", "module HCfirst"},
@@ -148,11 +148,11 @@ func (ps PowerStudy) Render(w io.Writer) error {
 		t.Add(fmt.Sprintf("%.1f", ps.VPP[i]), fmt.Sprintf("%.2f", ps.Current[i]),
 			fmt.Sprintf("%.2f", ps.Power[i]), ps.HCFirst[i])
 	}
-	if err := t.Render(w); err != nil {
+	if err := enc.Table(t); err != nil {
 		return err
 	}
 	if n := len(ps.VPP); n > 1 && ps.Power[0] > 0 {
-		fmt.Fprintf(w, "rail power at VPPmin is %.0f%% of nominal while HCfirst changes %+.0f%%\n",
+		return enc.Note("rail power at VPPmin is %.0f%% of nominal while HCfirst changes %+.0f%%",
 			ps.Power[n-1]/ps.Power[0]*100, (ps.HCFirst[n-1]/ps.HCFirst[0]-1)*100)
 	}
 	return nil

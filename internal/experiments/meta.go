@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
 	"sort"
 
 	"github.com/dramstudy/rhvpp/internal/core"
@@ -14,7 +14,7 @@ import (
 )
 
 // Table1 groups the tested modules the way the paper's chip summary does.
-func Table1(w io.Writer) error {
+func Table1(enc report.Encoder) error {
 	type key struct {
 		mfr     physics.Manufacturer
 		density int
@@ -48,7 +48,7 @@ func Table1(w io.Writer) error {
 		t.Add(k.mfr.String(), dimms, dimms*k.org.ChipsPerDIMM(),
 			fmt.Sprintf("%dGb", k.density), k.rev, k.org.String(), k.date)
 	}
-	return t.Render(w)
+	return enc.Table(t)
 }
 
 // CVStudy is the §4.6 statistical-significance analysis: the coefficient of
@@ -64,36 +64,23 @@ type CVStudy struct {
 
 // RunCVStudy measures BER ten times per row on a sample of modules and
 // voltages and summarizes the CV distribution (paper: 0.08 / 0.13 / 0.24 at
-// the 90th / 95th / 99th percentiles).
-func RunCVStudy(o Options) (CVStudy, error) {
+// the 90th / 95th / 99th percentiles). Modules run through the worker pool;
+// their series concatenate in catalog order.
+func RunCVStudy(ctx context.Context, o Options) (CVStudy, error) {
+	profs, err := o.profiles()
+	if err != nil {
+		return CVStudy{}, err
+	}
+	perModule, err := runPool(ctx, o.jobs(), profs,
+		func(ctx context.Context, prof physics.ModuleProfile) ([]float64, error) {
+			return runModuleCV(ctx, o, prof)
+		})
+	if err != nil {
+		return CVStudy{}, err
+	}
 	var st CVStudy
-	for _, prof := range o.profiles() {
-		tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
-		tester := core.NewTester(tb.Controller, o.Config)
-		rows := selectVictims(tester, o)
-		if len(rows) > 6 {
-			rows = rows[:6]
-		}
-		for _, vpp := range []float64{physics.VPPNominal, prof.VPPMin} {
-			if err := tb.SetVPP(vpp); err != nil {
-				return st, err
-			}
-			for _, row := range rows {
-				series, err := tester.MeasureBERSeries(row, pattern.RowStripeFF, o.Config.RefHC, 10)
-				if err != nil {
-					return st, err
-				}
-				// Require a handful of flipped bits per measurement: series
-				// dominated by 1-2 flips measure integer-count discreteness,
-				// not methodology noise (the paper's BERs involve thousands
-				// of bits per row).
-				minBER := 5.0 / float64(o.Geometry.RowBits())
-				if stats.Mean(series) < minBER {
-					continue
-				}
-				st.CVs = append(st.CVs, stats.CV(series))
-			}
-		}
+	for _, cvs := range perModule {
+		st.CVs = append(st.CVs, cvs...)
 	}
 	if len(st.CVs) > 0 {
 		st.P90, _ = stats.Percentile(st.CVs, 90)
@@ -103,8 +90,40 @@ func RunCVStudy(o Options) (CVStudy, error) {
 	return st, nil
 }
 
-// Render prints the CV percentiles against the paper's.
-func (st CVStudy) Render(w io.Writer) error {
+// runModuleCV collects one module's CV series at nominal VPP and VPPmin.
+func runModuleCV(ctx context.Context, o Options, prof physics.ModuleProfile) ([]float64, error) {
+	tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
+	tester := core.NewTester(tb.Controller, o.Config).WithContext(ctx)
+	rows := selectVictims(tester, o)
+	if len(rows) > 6 {
+		rows = rows[:6]
+	}
+	var cvs []float64
+	for _, vpp := range []float64{physics.VPPNominal, prof.VPPMin} {
+		if err := tb.SetVPP(vpp); err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			series, err := tester.MeasureBERSeries(row, pattern.RowStripeFF, o.Config.RefHC, 10)
+			if err != nil {
+				return nil, err
+			}
+			// Require a handful of flipped bits per measurement: series
+			// dominated by 1-2 flips measure integer-count discreteness,
+			// not methodology noise (the paper's BERs involve thousands
+			// of bits per row).
+			minBER := 5.0 / float64(o.Geometry.RowBits())
+			if stats.Mean(series) < minBER {
+				continue
+			}
+			cvs = append(cvs, stats.CV(series))
+		}
+	}
+	return cvs, nil
+}
+
+// Render emits the CV percentiles against the paper's.
+func (st CVStudy) Render(enc report.Encoder) error {
 	t := &report.Table{
 		Title:   "Section 4.6: coefficient of variation across 10 iterations",
 		Headers: []string{"percentile", "measured", "paper"},
@@ -113,5 +132,5 @@ func (st CVStudy) Render(w io.Writer) error {
 	t.Add("P95", fmt.Sprintf("%.3f", st.P95), "0.13")
 	t.Add("P99", fmt.Sprintf("%.3f", st.P99), "0.24")
 	t.Add("series measured", len(st.CVs), "-")
-	return t.Render(w)
+	return enc.Table(t)
 }

@@ -2,10 +2,21 @@
 // paper's evaluation, plus the ablation studies listed in DESIGN.md. Each
 // driver assembles a testbed per module, runs the core characterization
 // algorithms across the VPP sweep, and returns structured results together
-// with render helpers that print the same rows/series the paper reports.
+// with render helpers that emit the same rows/series the paper reports
+// through a report.Encoder.
+//
+// Study drivers accept a context.Context for cancellation and sweep the
+// selected modules with a bounded worker pool (Options.Jobs). Per-module
+// testbeds are fully independent and deterministically seeded, and results
+// are merged in catalog order, so output is identical at any worker count.
 package experiments
 
 import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
 	"github.com/dramstudy/rhvpp/internal/core"
 	"github.com/dramstudy/rhvpp/internal/physics"
 )
@@ -25,7 +36,7 @@ type Options struct {
 	// (the paper uses 4 chunks of 1K rows).
 	Chunks, RowsPerChunk int
 	// ModuleNames restricts the campaign to a subset of Table 3 modules;
-	// empty means all 30.
+	// empty means all 30. Unknown names are an error (see Validate).
 	ModuleNames []string
 	// VPPStride subsamples the 0.1 V sweep (1 = every level, 2 = every
 	// other level, ...). The nominal level and VPPmin are always included.
@@ -36,6 +47,10 @@ type Options struct {
 	// RetentionVPPLevels are the voltages swept by the Fig. 10 retention
 	// study (clamped per module to its VPPmin).
 	RetentionVPPLevels []float64
+	// Jobs bounds how many module testbeds are characterized concurrently
+	// (0 = one worker per CPU). Results are merged in catalog order, so
+	// any value produces byte-identical output.
+	Jobs int
 }
 
 // Default returns a laptop-scale campaign preserving the paper's structure.
@@ -65,21 +80,75 @@ func Paper() Options {
 	return o
 }
 
-// profiles resolves the module subset.
-func (o Options) profiles() []physics.ModuleProfile {
+// KnownModuleNames lists the Table 3 labels in catalog order.
+func KnownModuleNames() []string {
+	all := physics.Profiles()
+	names := make([]string, 0, len(all))
+	for _, p := range all {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// Validate rejects campaigns that would silently test the wrong population:
+// every entry of ModuleNames must be a Table 3 label, with no duplicates.
+func (o Options) Validate() error {
+	_, err := o.profiles()
+	return err
+}
+
+// profiles resolves the module subset in catalog order, erroring on names
+// outside the tested population (the old behavior of quietly dropping them
+// made e.g. a typo in -modules shrink the campaign without a trace).
+func (o Options) profiles() ([]physics.ModuleProfile, error) {
 	all := physics.Profiles()
 	if len(o.ModuleNames) == 0 {
-		return all
+		return all, nil
 	}
-	var out []physics.ModuleProfile
+	byName := make(map[string]physics.ModuleProfile, len(all))
+	for _, p := range all {
+		byName[p.Name] = p
+	}
+	var unknown []string
+	seen := make(map[string]bool, len(o.ModuleNames))
+	out := make([]physics.ModuleProfile, 0, len(o.ModuleNames))
 	for _, name := range o.ModuleNames {
-		for _, p := range all {
-			if p.Name == name {
-				out = append(out, p)
-			}
+		p, ok := byName[name]
+		switch {
+		case !ok:
+			unknown = append(unknown, name)
+		case seen[name]:
+			return nil, fmt.Errorf("experiments: module %q selected twice", name)
+		default:
+			seen[name] = true
+			out = append(out, p)
 		}
 	}
-	return out
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("experiments: unknown module(s) %s (known Table 3 labels: %s)",
+			strings.Join(unknown, ", "), strings.Join(KnownModuleNames(), " "))
+	}
+	return out, nil
+}
+
+// FirstModule returns the first selected module name, or the fallback when
+// the campaign covers the full population. The fallback must itself be a
+// Table 3 label; drivers resolve it with physics.ProfileByName and error
+// otherwise.
+func (o Options) FirstModule(fallback string) string {
+	if len(o.ModuleNames) > 0 {
+		return o.ModuleNames[0]
+	}
+	return fallback
+}
+
+// jobs resolves the worker-pool bound.
+func (o Options) jobs() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // vppLevels returns the swept voltages for a module, honoring the stride

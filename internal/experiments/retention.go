@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
 	"sort"
 
 	"github.com/dramstudy/rhvpp/internal/core"
@@ -27,8 +27,17 @@ type RetentionStudy struct {
 	RowBERAt4s map[physics.Manufacturer][][]float64
 }
 
+// moduleRetention is one module's contribution, measured independently so
+// modules can run concurrently and merge in catalog order.
+type moduleRetention struct {
+	mfr   physics.Manufacturer
+	sum   [][]float64 // [vpp][window] BER sum across rows
+	count [][]int     // [vpp][window] row count
+	rows  [][]float64 // [vpp] per-row BER at tREFW = 4s
+}
+
 // RunRetentionStudy sweeps retention behavior per module at 80C.
-func RunRetentionStudy(o Options) (RetentionStudy, error) {
+func RunRetentionStudy(ctx context.Context, o Options) (RetentionStudy, error) {
 	st := RetentionStudy{
 		WindowsMS:  o.Config.RetentionWindowsMS,
 		VPP:        o.RetentionVPPLevels,
@@ -42,14 +51,20 @@ func RunRetentionStudy(o Options) (RetentionStudy, error) {
 		}
 	}
 
-	type accum struct {
-		sum   [][]float64
-		count [][]int
-		rows  [][]float64
+	profs, err := o.profiles()
+	if err != nil {
+		return st, err
 	}
-	accums := make(map[physics.Manufacturer]*accum)
+	perModule, err := runPool(ctx, o.jobs(), profs,
+		func(ctx context.Context, prof physics.ModuleProfile) (moduleRetention, error) {
+			return runModuleRetention(ctx, o, prof, st.VPP, st.WindowsMS, idx4s)
+		})
+	if err != nil {
+		return st, err
+	}
+
 	for _, mfr := range []physics.Manufacturer{physics.MfrA, physics.MfrB, physics.MfrC} {
-		a := &accum{}
+		a := moduleRetention{mfr: mfr}
 		a.sum = make([][]float64, len(st.VPP))
 		a.count = make([][]int, len(st.VPP))
 		a.rows = make([][]float64, len(st.VPP))
@@ -57,41 +72,20 @@ func RunRetentionStudy(o Options) (RetentionStudy, error) {
 			a.sum[i] = make([]float64, len(st.WindowsMS))
 			a.count[i] = make([]int, len(st.WindowsMS))
 		}
-		accums[mfr] = a
-	}
-
-	for _, prof := range o.profiles() {
-		tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
-		if err := tb.SetTemperature(physics.RetentionTestTempC); err != nil {
-			return st, err
-		}
-		tester := core.NewTester(tb.Controller, o.Config)
-		rows := core.SelectRows(o.Geometry, o.Chunks, o.RowsPerChunk)
-		a := accums[prof.Mfr]
-		for vi, vpp := range st.VPP {
-			if vpp < prof.VPPMin-1e-9 {
-				continue // module cannot operate here
+		// Merge in catalog order so Fig. 10b's row populations are
+		// ordered identically at any worker count.
+		for _, m := range perModule {
+			if m.mfr != mfr {
+				continue
 			}
-			if err := tb.SetVPP(vpp); err != nil {
-				return st, err
-			}
-			for _, row := range rows {
-				res, err := tester.RetentionSweep(row, pattern.CheckerAA)
-				if err != nil {
-					return st, fmt.Errorf("module %s row %d at %.1fV: %w", prof.Name, row, vpp, err)
+			for vi := range m.sum {
+				for wi := range m.sum[vi] {
+					a.sum[vi][wi] += m.sum[vi][wi]
+					a.count[vi][wi] += m.count[vi][wi]
 				}
-				for wi := range st.WindowsMS {
-					a.sum[vi][wi] += res.Points[wi].BER
-					a.count[vi][wi]++
-				}
-				if idx4s >= 0 {
-					a.rows[vi] = append(a.rows[vi], res.Points[idx4s].BER)
-				}
+				a.rows[vi] = append(a.rows[vi], m.rows[vi]...)
 			}
 		}
-	}
-
-	for mfr, a := range accums {
 		mean := make([][]float64, len(st.VPP))
 		for vi := range a.sum {
 			mean[vi] = make([]float64, len(st.WindowsMS))
@@ -107,8 +101,50 @@ func RunRetentionStudy(o Options) (RetentionStudy, error) {
 	return st, nil
 }
 
+// runModuleRetention measures one module across the allowed VPP levels.
+func runModuleRetention(ctx context.Context, o Options, prof physics.ModuleProfile,
+	vppLevels, windows []float64, idx4s int) (moduleRetention, error) {
+	m := moduleRetention{mfr: prof.Mfr}
+	m.sum = make([][]float64, len(vppLevels))
+	m.count = make([][]int, len(vppLevels))
+	m.rows = make([][]float64, len(vppLevels))
+	for i := range m.sum {
+		m.sum[i] = make([]float64, len(windows))
+		m.count[i] = make([]int, len(windows))
+	}
+
+	tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
+	if err := tb.SetTemperature(physics.RetentionTestTempC); err != nil {
+		return m, err
+	}
+	tester := core.NewTester(tb.Controller, o.Config).WithContext(ctx)
+	rows := core.SelectRows(o.Geometry, o.Chunks, o.RowsPerChunk)
+	for vi, vpp := range vppLevels {
+		if vpp < prof.VPPMin-1e-9 {
+			continue // module cannot operate here
+		}
+		if err := tb.SetVPP(vpp); err != nil {
+			return m, err
+		}
+		for _, row := range rows {
+			res, err := tester.RetentionSweep(row, pattern.CheckerAA)
+			if err != nil {
+				return m, fmt.Errorf("module %s row %d at %.1fV: %w", prof.Name, row, vpp, err)
+			}
+			for wi := range windows {
+				m.sum[vi][wi] += res.Points[wi].BER
+				m.count[vi][wi]++
+			}
+			if idx4s >= 0 {
+				m.rows[vi] = append(m.rows[vi], res.Points[idx4s].BER)
+			}
+		}
+	}
+	return m, nil
+}
+
 // RenderFig10a plots retention BER vs refresh window per manufacturer.
-func (st RetentionStudy) RenderFig10a(w io.Writer) error {
+func (st RetentionStudy) RenderFig10a(enc report.Encoder) error {
 	for _, mfr := range []physics.Manufacturer{physics.MfrA, physics.MfrB, physics.MfrC} {
 		plot := report.LinePlot{
 			Title:  fmt.Sprintf("Fig. 10a: retention BER vs refresh window - Mfr. %s", mfr),
@@ -126,7 +162,7 @@ func (st RetentionStudy) RenderFig10a(w io.Writer) error {
 			}
 			plot.Series = append(plot.Series, s)
 		}
-		if err := plot.Render(w); err != nil {
+		if err := enc.Plot(&plot); err != nil {
 			return err
 		}
 	}
@@ -142,8 +178,8 @@ func log2(x float64) float64 {
 	return n
 }
 
-// RenderFig10b prints the mean per-row BER at tREFW = 4s per VPP level.
-func (st RetentionStudy) RenderFig10b(w io.Writer) error {
+// RenderFig10b emits the mean per-row BER at tREFW = 4s per VPP level.
+func (st RetentionStudy) RenderFig10b(enc report.Encoder) error {
 	t := &report.Table{
 		Title:   "Fig. 10b: retention BER at tREFW = 4s (mean across rows)",
 		Headers: []string{"VPP", "Mfr A", "Mfr B", "Mfr C"},
@@ -160,7 +196,7 @@ func (st RetentionStudy) RenderFig10b(w io.Writer) error {
 		}
 		t.Add(row...)
 	}
-	return t.Render(w)
+	return enc.Table(t)
 }
 
 // WordAnalysis is the Fig. 11 study: the word-granularity structure of
@@ -183,13 +219,37 @@ type WordAnalysis struct {
 	TotalModules   int
 }
 
-// RunWordAnalysis performs the Fig. 11 measurement through the controller.
-func RunWordAnalysis(o Options) (WordAnalysis, error) {
+// moduleWords is one module's word-granularity measurement.
+type moduleWords struct {
+	mfr        physics.Manufacturer
+	rowCount   int
+	clean64    bool
+	clean128   bool
+	at64       map[int]int
+	at128      map[int]int
+	multiFlips bool
+}
+
+// RunWordAnalysis performs the Fig. 11 measurement through the controller,
+// one pooled worker per module.
+func RunWordAnalysis(ctx context.Context, o Options) (WordAnalysis, error) {
 	wa := WordAnalysis{
 		Distribution64:  map[physics.Manufacturer]map[int]float64{},
 		Distribution128: map[physics.Manufacturer]map[int]float64{},
 		SECDEDSafe:      true,
 	}
+	profs, err := o.profiles()
+	if err != nil {
+		return wa, err
+	}
+	perModule, err := runPool(ctx, o.jobs(), profs,
+		func(ctx context.Context, prof physics.ModuleProfile) (moduleWords, error) {
+			return runModuleWords(ctx, o, prof)
+		})
+	if err != nil {
+		return wa, err
+	}
+
 	type mfrCount struct {
 		rows       int // rows in modules exhibiting 64ms failures
 		rows128    int // rows in modules exhibiting (new) 128ms failures
@@ -202,79 +262,27 @@ func RunWordAnalysis(o Options) (WordAnalysis, error) {
 	for _, mfr := range []physics.Manufacturer{physics.MfrA, physics.MfrB, physics.MfrC} {
 		counts[mfr] = &mfrCount{at64: map[int]int{}, at128: map[int]int{}}
 	}
-
-	const fill = 0xAA
-	for _, prof := range o.profiles() {
+	for _, m := range perModule {
 		wa.TotalModules++
-		tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
-		if err := tb.SetTemperature(physics.RetentionTestTempC); err != nil {
-			return wa, err
+		if m.multiFlips {
+			wa.SECDEDSafe = false
 		}
-		if err := tb.SetVPP(prof.VPPMin); err != nil {
-			return wa, err
-		}
-		ctrl := tb.Controller
-		rows := core.SelectRows(o.Geometry, o.Chunks, o.RowsPerChunk)
-		mc := counts[prof.Mfr]
-		moduleClean64 := true
-
-		measure := func(row int, windowMS float64) (ecc.WordErrors, error) {
-			if err := ctrl.InitializeRow(0, row, fill); err != nil {
-				return ecc.WordErrors{}, err
-			}
-			if err := ctrl.WaitMS(windowMS); err != nil {
-				return ecc.WordErrors{}, err
-			}
-			data, err := ctrl.ReadRowSafe(0, row)
-			if err != nil {
-				return ecc.WordErrors{}, err
-			}
-			return ecc.AnalyzeRow(data, fill), nil
-		}
-
-		modClean128 := true
-		modAt64 := map[int]int{}
-		modAt128 := map[int]int{}
-		for _, row := range rows {
-			we64, err := measure(row, 64)
-			if err != nil {
-				return wa, err
-			}
-			if we64.WordsWithMultiFlips > 0 {
-				wa.SECDEDSafe = false
-			}
-			if we64.WordsWithOneFlip > 0 {
-				modAt64[we64.WordsWithOneFlip]++
-				moduleClean64 = false
-				continue // 128 ms tier counts only rows clean at 64 ms
-			}
-			we128, err := measure(row, 128)
-			if err != nil {
-				return wa, err
-			}
-			if we128.WordsWithMultiFlips > 0 {
-				wa.SECDEDSafe = false
-			}
-			if we128.WordsWithOneFlip > 0 {
-				modAt128[we128.WordsWithOneFlip]++
-				modClean128 = false
-			}
-		}
-		if moduleClean64 {
+		if m.clean64 {
 			wa.CleanModules64++
 		}
+		mc := counts[m.mfr]
 		// The Fig. 11 population is "rows in modules exhibiting flips at
 		// that window": only failing modules enter the denominators.
-		if !moduleClean64 {
-			mc.rows += len(rows)
-			for k, n := range modAt64 {
+		if !m.clean64 {
+			mc.rows += m.rowCount
+			for k, n := range m.at64 {
 				mc.at64[k] += n
 				mc.fail64 += n
 			}
 		}
-		if !modClean128 {
-			mc.rows128 += len(rows)
-			for k, n := range modAt128 {
+		if !m.clean128 {
+			mc.rows128 += m.rowCount
+			for k, n := range m.at128 {
 				mc.at128[k] += n
 				mc.fail128New += n
 			}
@@ -305,8 +313,71 @@ func RunWordAnalysis(o Options) (WordAnalysis, error) {
 	return wa, nil
 }
 
-// RenderFig11 prints the word-error distributions.
-func (wa WordAnalysis) RenderFig11(w io.Writer) error {
+// runModuleWords measures one module's word-error structure at VPPmin.
+func runModuleWords(ctx context.Context, o Options, prof physics.ModuleProfile) (moduleWords, error) {
+	m := moduleWords{
+		mfr: prof.Mfr, clean64: true, clean128: true,
+		at64: map[int]int{}, at128: map[int]int{},
+	}
+	tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
+	if err := tb.SetTemperature(physics.RetentionTestTempC); err != nil {
+		return m, err
+	}
+	if err := tb.SetVPP(prof.VPPMin); err != nil {
+		return m, err
+	}
+	ctrl := tb.Controller
+	rows := core.SelectRows(o.Geometry, o.Chunks, o.RowsPerChunk)
+	m.rowCount = len(rows)
+
+	const fill = 0xAA
+	measure := func(row int, windowMS float64) (ecc.WordErrors, error) {
+		if err := ctrl.InitializeRow(0, row, fill); err != nil {
+			return ecc.WordErrors{}, err
+		}
+		if err := ctrl.WaitMS(windowMS); err != nil {
+			return ecc.WordErrors{}, err
+		}
+		data, err := ctrl.ReadRowSafe(0, row)
+		if err != nil {
+			return ecc.WordErrors{}, err
+		}
+		return ecc.AnalyzeRow(data, fill), nil
+	}
+
+	for _, row := range rows {
+		if err := ctx.Err(); err != nil {
+			return m, err
+		}
+		we64, err := measure(row, 64)
+		if err != nil {
+			return m, err
+		}
+		if we64.WordsWithMultiFlips > 0 {
+			m.multiFlips = true
+		}
+		if we64.WordsWithOneFlip > 0 {
+			m.at64[we64.WordsWithOneFlip]++
+			m.clean64 = false
+			continue // 128 ms tier counts only rows clean at 64 ms
+		}
+		we128, err := measure(row, 128)
+		if err != nil {
+			return m, err
+		}
+		if we128.WordsWithMultiFlips > 0 {
+			m.multiFlips = true
+		}
+		if we128.WordsWithOneFlip > 0 {
+			m.at128[we128.WordsWithOneFlip]++
+			m.clean128 = false
+		}
+	}
+	return m, nil
+}
+
+// RenderFig11 emits the word-error distributions.
+func (wa WordAnalysis) RenderFig11(enc report.Encoder) error {
 	render := func(title string, dist map[physics.Manufacturer]map[int]float64) error {
 		t := &report.Table{
 			Title:   title,
@@ -326,7 +397,7 @@ func (wa WordAnalysis) RenderFig11(w io.Writer) error {
 				t.Add(mfr.String(), k, fmt.Sprintf("%.4f", dist[mfr][k]))
 			}
 		}
-		return t.Render(w)
+		return enc.Table(t)
 	}
 	if err := render("Fig. 11a: erroneous 64-bit words per row at tREFW = 64ms (VPPmin)", wa.Distribution64); err != nil {
 		return err
@@ -339,5 +410,5 @@ func (wa WordAnalysis) RenderFig11(w io.Writer) error {
 	t.Add("all failing words SECDED-correctable", wa.SECDEDSafe, "yes")
 	t.Add("rows needing 2x refresh @64ms", fmt.Sprintf("%.1f%%", wa.FracNeedingFastRefresh64*100), "16.4%")
 	t.Add("rows needing 2x refresh @128ms", fmt.Sprintf("%.1f%%", wa.FracNeedingFastRefresh128*100), "5.0%")
-	return t.Render(w)
+	return enc.Table(t)
 }

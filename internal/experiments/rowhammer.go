@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
 
 	"github.com/dramstudy/rhvpp/internal/core"
 	"github.com/dramstudy/rhvpp/internal/infra"
@@ -59,9 +59,9 @@ func (s ModuleSweep) AtVPPMin() VPPPoint { return s.Points[len(s.Points)-1] }
 // RunModuleSweep characterizes one module across its VPP range: WCDP
 // profiling at nominal voltage, then HCfirst and BER per row per level
 // (Alg. 1 through the SoftMC controller on the assembled testbed).
-func RunModuleSweep(o Options, prof physics.ModuleProfile) (ModuleSweep, error) {
+func RunModuleSweep(ctx context.Context, o Options, prof physics.ModuleProfile) (ModuleSweep, error) {
 	tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
-	tester := core.NewTester(tb.Controller, o.Config)
+	tester := core.NewTester(tb.Controller, o.Config).WithContext(ctx)
 	sweep := ModuleSweep{Profile: prof, WCDP: make(map[int]pattern.Kind)}
 	sweep.Rows = selectVictims(tester, o)
 	if len(sweep.Rows) == 0 {
@@ -89,6 +89,9 @@ func RunModuleSweep(o Options, prof physics.ModuleProfile) (ModuleSweep, error) 
 
 	levels := o.vppLevels(prof)
 	for _, vpp := range levels {
+		if err := ctx.Err(); err != nil {
+			return sweep, err
+		}
 		if err := tb.SetVPP(vpp); err != nil {
 			return sweep, err
 		}
@@ -142,32 +145,37 @@ type RowHammerStudy struct {
 	Sweeps []ModuleSweep
 }
 
-// RunRowHammerStudy sweeps every selected module.
-func RunRowHammerStudy(o Options) (RowHammerStudy, error) {
-	var st RowHammerStudy
-	for _, prof := range o.profiles() {
-		sw, err := RunModuleSweep(o, prof)
-		if err != nil {
-			return st, err
-		}
-		st.Sweeps = append(st.Sweeps, sw)
+// RunRowHammerStudy sweeps every selected module, Options.Jobs modules at a
+// time. Each module owns an independent deterministic testbed and the sweeps
+// are stored in catalog order, so the study is identical at any worker count.
+func RunRowHammerStudy(ctx context.Context, o Options) (RowHammerStudy, error) {
+	profs, err := o.profiles()
+	if err != nil {
+		return RowHammerStudy{}, err
 	}
-	return st, nil
+	sweeps, err := runPool(ctx, o.jobs(), profs,
+		func(ctx context.Context, prof physics.ModuleProfile) (ModuleSweep, error) {
+			return RunModuleSweep(ctx, o, prof)
+		})
+	if err != nil {
+		return RowHammerStudy{}, err
+	}
+	return RowHammerStudy{Sweeps: sweeps}, nil
 }
 
-// RenderFig3 prints the normalized BER curves (one panel per manufacturer).
-func (st RowHammerStudy) RenderFig3(w io.Writer) error {
-	return st.renderNormPanels(w, "Fig. 3: Normalized RowHammer BER vs VPP",
+// RenderFig3 emits the normalized BER curves (one panel per manufacturer).
+func (st RowHammerStudy) RenderFig3(enc report.Encoder) error {
+	return st.renderNormPanels(enc, "Fig. 3: Normalized RowHammer BER vs VPP",
 		func(p VPPPoint) float64 { return p.NormBER.Mean })
 }
 
-// RenderFig5 prints the normalized HCfirst curves.
-func (st RowHammerStudy) RenderFig5(w io.Writer) error {
-	return st.renderNormPanels(w, "Fig. 5: Normalized HCfirst vs VPP",
+// RenderFig5 emits the normalized HCfirst curves.
+func (st RowHammerStudy) RenderFig5(enc report.Encoder) error {
+	return st.renderNormPanels(enc, "Fig. 5: Normalized HCfirst vs VPP",
 		func(p VPPPoint) float64 { return p.NormHC.Mean })
 }
 
-func (st RowHammerStudy) renderNormPanels(w io.Writer, title string, pick func(VPPPoint) float64) error {
+func (st RowHammerStudy) renderNormPanels(enc report.Encoder, title string, pick func(VPPPoint) float64) error {
 	for _, mfr := range []physics.Manufacturer{physics.MfrA, physics.MfrB, physics.MfrC} {
 		plot := report.LinePlot{
 			Title:  fmt.Sprintf("%s - Mfr. %s", title, mfr),
@@ -188,7 +196,7 @@ func (st RowHammerStudy) renderNormPanels(w io.Writer, title string, pick func(V
 		if len(plot.Series) == 0 {
 			continue
 		}
-		if err := plot.Render(w); err != nil {
+		if err := enc.Plot(&plot); err != nil {
 			return err
 		}
 	}
@@ -220,13 +228,13 @@ func (st RowHammerStudy) PopulationHistogram(mfr physics.Manufacturer, hcFirst b
 	return stats.NewHistogram(xs, lo, hi, bins)
 }
 
-// RenderFig4 and RenderFig6 print the population distributions.
-func (st RowHammerStudy) RenderFig4(w io.Writer) error { return st.renderPopulation(w, false) }
+// RenderFig4 and RenderFig6 emit the population distributions.
+func (st RowHammerStudy) RenderFig4(enc report.Encoder) error { return st.renderPopulation(enc, false) }
 
-// RenderFig6 prints the HCfirst population distribution at VPPmin.
-func (st RowHammerStudy) RenderFig6(w io.Writer) error { return st.renderPopulation(w, true) }
+// RenderFig6 emits the HCfirst population distribution at VPPmin.
+func (st RowHammerStudy) RenderFig6(enc report.Encoder) error { return st.renderPopulation(enc, true) }
 
-func (st RowHammerStudy) renderPopulation(w io.Writer, hcFirst bool) error {
+func (st RowHammerStudy) renderPopulation(enc report.Encoder, hcFirst bool) error {
 	metric := "BER"
 	fig := "Fig. 4"
 	if hcFirst {
@@ -246,7 +254,7 @@ func (st RowHammerStudy) renderPopulation(w io.Writer, hcFirst bool) error {
 			chart.Labels = append(chart.Labels, fmt.Sprintf("%.2f-%.2f", b.Lo, b.Hi))
 			chart.Values = append(chart.Values, b.Fraction)
 		}
-		if err := chart.Render(w); err != nil {
+		if err := enc.Bars(&chart); err != nil {
 			return err
 		}
 	}
@@ -318,8 +326,8 @@ func (st RowHammerStudy) Section5Aggregates() Aggregates {
 	return a
 }
 
-// Render prints the aggregates next to the paper's published values.
-func (a Aggregates) Render(w io.Writer) error {
+// Render emits the aggregates next to the paper's published values.
+func (a Aggregates) Render(enc report.Encoder) error {
 	t := &report.Table{
 		Title:   "Section 5 aggregates at VPPmin (measured vs paper)",
 		Headers: []string{"metric", "measured", "paper"},
@@ -332,5 +340,5 @@ func (a Aggregates) Render(w io.Writer) error {
 	t.Add("rows with HCfirst decrease", fmt.Sprintf("%.3f", a.FracRowsHCDown), "0.142")
 	t.Add("rows with BER decrease", fmt.Sprintf("%.3f", a.FracRowsBERDown), "0.812")
 	t.Add("rows with BER increase", fmt.Sprintf("%.3f", a.FracRowsBERUp), "0.154")
-	return t.Render(w)
+	return enc.Table(t)
 }

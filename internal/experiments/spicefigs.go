@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
 
 	"github.com/dramstudy/rhvpp/internal/report"
 	"github.com/dramstudy/rhvpp/internal/spice"
@@ -14,8 +14,8 @@ import (
 // range).
 var spiceSweepVPPs = []float64{2.5, 2.4, 2.3, 2.2, 2.1, 2.0, 1.9, 1.8, 1.7}
 
-// Table2 prints the SPICE netlist parameters.
-func Table2(w io.Writer) error {
+// Table2 emits the SPICE netlist parameters.
+func Table2(enc report.Encoder) error {
 	p := spice.DefaultCellParams(2.5)
 	t := &report.Table{
 		Title:   "Table 2: key parameters used in SPICE simulations",
@@ -26,7 +26,7 @@ func Table2(w io.Writer) error {
 	t.Add("Cell Access NMOS", fmt.Sprintf("W: %.0f nm, L: %.0f nm", p.Access.W*1e9, p.Access.L*1e9))
 	t.Add("Sense Amp. NMOS", fmt.Sprintf("W: %.1f um, L: %.1f um", p.SAN1.W*1e6, p.SAN1.L*1e6))
 	t.Add("Sense Amp. PMOS", fmt.Sprintf("W: %.1f um, L: %.1f um", p.SAP1.W*1e6, p.SAP1.L*1e6))
-	return t.Render(w)
+	return enc.Table(t)
 }
 
 // Waveforms holds the Fig. 8a / 9a transient traces per VPP level.
@@ -39,9 +39,12 @@ type Waveforms struct {
 }
 
 // RunWaveforms simulates the activation waveform at each VPP level.
-func RunWaveforms() (Waveforms, error) {
+func RunWaveforms(ctx context.Context) (Waveforms, error) {
 	var wf Waveforms
 	for _, vpp := range spiceSweepVPPs {
+		if err := ctx.Err(); err != nil {
+			return wf, err
+		}
 		var ts, bl, cell []float64
 		p := spice.DefaultCellParams(vpp)
 		p.MaxNS = 100
@@ -61,16 +64,16 @@ func RunWaveforms() (Waveforms, error) {
 }
 
 // RenderFig8a plots the bitline voltage during activation.
-func (wf Waveforms) RenderFig8a(w io.Writer) error {
-	return wf.render(w, "Fig. 8a: bitline voltage during row activation (VTH = 1.08V)", wf.Bitline, 40)
+func (wf Waveforms) RenderFig8a(enc report.Encoder) error {
+	return wf.render(enc, "Fig. 8a: bitline voltage during row activation (VTH = 1.08V)", wf.Bitline, 40)
 }
 
 // RenderFig9a plots the cell capacitor voltage during restoration.
-func (wf Waveforms) RenderFig9a(w io.Writer) error {
-	return wf.render(w, "Fig. 9a: cell capacitor voltage during charge restoration", wf.Cell, 100)
+func (wf Waveforms) RenderFig9a(enc report.Encoder) error {
+	return wf.render(enc, "Fig. 9a: cell capacitor voltage during charge restoration", wf.Cell, 100)
 }
 
-func (wf Waveforms) render(w io.Writer, title string, traces [][]float64, maxNS float64) error {
+func (wf Waveforms) render(enc report.Encoder, title string, traces [][]float64, maxNS float64) error {
 	plot := report.LinePlot{Title: title, XLabel: "time (ns)", YLabel: "V", Width: 70, Height: 14}
 	for i, vpp := range wf.VPP {
 		if i%2 == 1 {
@@ -88,7 +91,7 @@ func (wf Waveforms) render(w io.Writer, title string, traces [][]float64, maxNS 
 		}
 		plot.Series = append(plot.Series, s)
 	}
-	return plot.Render(w)
+	return enc.Plot(&plot)
 }
 
 // MCStudy is the Fig. 8b / 9b Monte-Carlo campaign.
@@ -97,20 +100,21 @@ type MCStudy struct {
 }
 
 // RunMCStudy executes the Monte-Carlo sweep (runs per level from Options).
-func RunMCStudy(o Options) (MCStudy, error) {
-	var st MCStudy
-	for _, vpp := range spiceSweepVPPs {
-		r, err := spice.MonteCarlo(vpp, o.SpiceMCRuns, o.Seed, 0.05)
-		if err != nil {
-			return st, err
-		}
-		st.Results = append(st.Results, r)
+// Levels are simulated through the worker pool; every level reseeds its own
+// generator, so the result order and content are worker-count independent.
+func RunMCStudy(ctx context.Context, o Options) (MCStudy, error) {
+	results, err := runPool(ctx, o.jobs(), spiceSweepVPPs,
+		func(ctx context.Context, vpp float64) (spice.MCResult, error) {
+			return spice.MonteCarlo(vpp, o.SpiceMCRuns, o.Seed, 0.05)
+		})
+	if err != nil {
+		return MCStudy{}, err
 	}
-	return st, nil
+	return MCStudy{Results: results}, nil
 }
 
-// RenderFig8b prints the tRCDmin distribution per VPP level.
-func (st MCStudy) RenderFig8b(w io.Writer) error {
+// RenderFig8b emits the tRCDmin distribution per VPP level.
+func (st MCStudy) RenderFig8b(enc report.Encoder) error {
 	t := &report.Table{
 		Title:   "Fig. 8b: minimum reliable activation latency distribution (Monte Carlo)",
 		Headers: []string{"VPP", "mean tRCDmin (ns)", "P95", "worst", "reliable runs"},
@@ -121,11 +125,11 @@ func (st MCStudy) RenderFig8b(w io.Writer) error {
 			fmt.Sprintf("%.2f", p95), fmt.Sprintf("%.2f", r.WorstTRCDminNS()),
 			fmt.Sprintf("%.1f%%", r.ReliableFraction()*100))
 	}
-	return t.Render(w)
+	return enc.Table(t)
 }
 
-// RenderFig9b prints the tRASmin distribution per VPP level.
-func (st MCStudy) RenderFig9b(w io.Writer) error {
+// RenderFig9b emits the tRASmin distribution per VPP level.
+func (st MCStudy) RenderFig9b(enc report.Encoder) error {
 	t := &report.Table{
 		Title:   "Fig. 9b: minimum reliable charge restoration latency distribution (Monte Carlo, nominal tRAS = 35ns)",
 		Headers: []string{"VPP", "mean tRASmin (ns)", "P95", "worst", "restored runs"},
@@ -147,5 +151,5 @@ func (st MCStudy) RenderFig9b(w io.Writer) error {
 			fmt.Sprintf("%.2f", p95), fmt.Sprintf("%.2f", worst),
 			fmt.Sprintf("%.1f%%", restored))
 	}
-	return t.Render(w)
+	return enc.Table(t)
 }

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
 
 	"github.com/dramstudy/rhvpp/internal/core"
 	"github.com/dramstudy/rhvpp/internal/infra"
@@ -31,7 +31,7 @@ type TempInteraction struct {
 // RunTempInteraction measures the VPP x temperature grid on one module.
 // RowHammer tests normally run at 50C (the paper's §4.1 condition); this
 // experiment extends them across the DDR4 operating range.
-func RunTempInteraction(o Options, moduleName string, temps []float64) (TempInteraction, error) {
+func RunTempInteraction(ctx context.Context, o Options, moduleName string, temps []float64) (TempInteraction, error) {
 	prof, ok := physics.ProfileByName(moduleName)
 	if !ok {
 		return TempInteraction{}, fmt.Errorf("unknown module %s", moduleName)
@@ -40,7 +40,7 @@ func RunTempInteraction(o Options, moduleName string, temps []float64) (TempInte
 		temps = []float64{50, 65, 80}
 	}
 	tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
-	tester := core.NewTester(tb.Controller, o.Config)
+	tester := core.NewTester(tb.Controller, o.Config).WithContext(ctx)
 	rows := selectVictims(tester, o)
 	ti := TempInteraction{
 		Module: moduleName,
@@ -89,8 +89,8 @@ func RunTempInteraction(o Options, moduleName string, temps []float64) (TempInte
 	return ti, nil
 }
 
-// Render prints the interaction grid.
-func (ti TempInteraction) Render(w io.Writer) error {
+// Render emits the interaction grid.
+func (ti TempInteraction) Render(enc report.Encoder) error {
 	t := &report.Table{
 		Title: fmt.Sprintf("Extension: VPP x temperature x RowHammer on %s (paper §7 future work)",
 			ti.Module),
@@ -101,7 +101,7 @@ func (ti TempInteraction) Render(w io.Writer) error {
 			t.Add(temp, vpp, ti.HCFirst[tiIdx][vi], fmt.Sprintf("%.2e", ti.BER[tiIdx][vi]))
 		}
 	}
-	if err := t.Render(w); err != nil {
+	if err := enc.Table(t); err != nil {
 		return err
 	}
 	if len(ti.RowTempSpread) > 0 {
@@ -109,9 +109,11 @@ func (ti TempInteraction) Render(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "per-row HCfirst at %.0fC normalized to %.0fC (nominal VPP): mean %.3f, min %.3f, max %.3f\n",
-			ti.Temps[len(ti.Temps)-1], ti.Temps[0], s.Mean, s.Min, s.Max)
-		fmt.Fprintf(w, "(temperature moves individual rows in both directions, like VPP does)\n")
+		if err := enc.Note("per-row HCfirst at %.0fC normalized to %.0fC (nominal VPP): mean %.3f, min %.3f, max %.3f",
+			ti.Temps[len(ti.Temps)-1], ti.Temps[0], s.Mean, s.Min, s.Max); err != nil {
+			return err
+		}
+		return enc.Note("(temperature moves individual rows in both directions, like VPP does)")
 	}
 	return nil
 }

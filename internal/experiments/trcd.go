@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
 
 	"github.com/dramstudy/rhvpp/internal/core"
 	"github.com/dramstudy/rhvpp/internal/infra"
@@ -56,9 +56,9 @@ func (s TRCDSweep) GuardbandReduction() float64 {
 
 // RunTRCDSweep measures a module's tRCDmin across VPP levels via Alg. 2.
 // Rows are a reduced set (latency tests are per-column and costly).
-func RunTRCDSweep(o Options, prof physics.ModuleProfile) (TRCDSweep, error) {
+func RunTRCDSweep(ctx context.Context, o Options, prof physics.ModuleProfile) (TRCDSweep, error) {
 	tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
-	tester := core.NewTester(tb.Controller, o.Config)
+	tester := core.NewTester(tb.Controller, o.Config).WithContext(ctx)
 	sweep := TRCDSweep{Profile: prof}
 
 	rows := core.SelectRows(o.Geometry, o.Chunks, 2)
@@ -81,6 +81,9 @@ func RunTRCDSweep(o Options, prof physics.ModuleProfile) (TRCDSweep, error) {
 	}
 
 	for _, vpp := range o.vppLevels(prof) {
+		if err := ctx.Err(); err != nil {
+			return sweep, err
+		}
 		if err := tb.SetVPP(vpp); err != nil {
 			return sweep, err
 		}
@@ -143,21 +146,25 @@ type TRCDStudy struct {
 	Sweeps []TRCDSweep
 }
 
-// RunTRCDStudy sweeps every selected module.
-func RunTRCDStudy(o Options) (TRCDStudy, error) {
-	var st TRCDStudy
-	for _, prof := range o.profiles() {
-		sw, err := RunTRCDSweep(o, prof)
-		if err != nil {
-			return st, err
-		}
-		st.Sweeps = append(st.Sweeps, sw)
+// RunTRCDStudy sweeps every selected module through the bounded worker pool,
+// merging sweeps in catalog order.
+func RunTRCDStudy(ctx context.Context, o Options) (TRCDStudy, error) {
+	profs, err := o.profiles()
+	if err != nil {
+		return TRCDStudy{}, err
 	}
-	return st, nil
+	sweeps, err := runPool(ctx, o.jobs(), profs,
+		func(ctx context.Context, prof physics.ModuleProfile) (TRCDSweep, error) {
+			return RunTRCDSweep(ctx, o, prof)
+		})
+	if err != nil {
+		return TRCDStudy{}, err
+	}
+	return TRCDStudy{Sweeps: sweeps}, nil
 }
 
-// RenderFig7 prints the per-module tRCDmin curves by manufacturer panel.
-func (st TRCDStudy) RenderFig7(w io.Writer) error {
+// RenderFig7 emits the per-module tRCDmin curves by manufacturer panel.
+func (st TRCDStudy) RenderFig7(enc report.Encoder) error {
 	for _, mfr := range []physics.Manufacturer{physics.MfrA, physics.MfrB, physics.MfrC} {
 		plot := report.LinePlot{
 			Title:  fmt.Sprintf("Fig. 7: minimum reliable tRCD vs VPP - Mfr. %s (nominal = 13.5ns)", mfr),
@@ -175,7 +182,7 @@ func (st TRCDStudy) RenderFig7(w io.Writer) error {
 		if len(plot.Series) == 0 {
 			continue
 		}
-		if err := plot.Render(w); err != nil {
+		if err := enc.Plot(&plot); err != nil {
 			return err
 		}
 	}
@@ -217,8 +224,8 @@ func (st TRCDStudy) Summary() GuardbandSummary {
 	return s
 }
 
-// Render prints the summary against the paper's numbers.
-func (s GuardbandSummary) Render(w io.Writer) error {
+// Render emits the summary against the paper's numbers.
+func (s GuardbandSummary) Render(enc report.Encoder) error {
 	t := &report.Table{
 		Title:   "Section 6.1: activation latency under reduced VPP (measured vs paper)",
 		Headers: []string{"metric", "measured", "paper"},
@@ -228,5 +235,5 @@ func (s GuardbandSummary) Render(w io.Writer) error {
 	t.Add("chips exceeding nominal tRCD", s.FailingChips, "64")
 	t.Add("mean guardband reduction", fmt.Sprintf("%.1f%%", s.MeanGuardbandReduction*100), "21.9%")
 	t.Add("24ns/15ns fixes verified", s.AllFixesVerified, "yes")
-	return t.Render(w)
+	return enc.Table(t)
 }

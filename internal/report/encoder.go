@@ -1,0 +1,204 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Format identifies an output encoding for experiment results.
+type Format string
+
+// Supported encodings.
+const (
+	// FormatText renders aligned tables and ASCII plots (the default).
+	FormatText Format = "text"
+	// FormatJSON streams one JSON object per element (NDJSON), so results
+	// are machine-readable without a terminal-output parser.
+	FormatJSON Format = "json"
+	// FormatCSV flattens tables and plot series into comma-separated rows;
+	// titles and notes become '#' comment lines.
+	FormatCSV Format = "csv"
+)
+
+// Formats lists the supported encodings.
+func Formats() []Format { return []Format{FormatText, FormatJSON, FormatCSV} }
+
+// Encoder serializes the elements experiment renderers emit. Implementations
+// must tolerate any mix of elements in any order; one encoder instance
+// corresponds to one output stream.
+type Encoder interface {
+	// Table emits a titled grid of cells.
+	Table(t *Table) error
+	// Plot emits a named multi-series line plot.
+	Plot(p *LinePlot) error
+	// Bars emits a labeled bar chart.
+	Bars(c *BarChart) error
+	// Note emits a free-form annotation line (Printf-style).
+	Note(format string, args ...any) error
+}
+
+// NewEncoder returns an encoder for the requested format writing to w.
+func NewEncoder(f Format, w io.Writer) (Encoder, error) {
+	switch f {
+	case FormatText, "":
+		return NewText(w), nil
+	case FormatJSON:
+		return NewJSON(w), nil
+	case FormatCSV:
+		return NewCSV(w), nil
+	}
+	return nil, fmt.Errorf("report: unknown format %q (known: %v)", f, Formats())
+}
+
+// NewText returns the terminal encoder: tables and plots render exactly as
+// their Render methods do.
+func NewText(w io.Writer) Encoder { return textEncoder{w} }
+
+type textEncoder struct{ w io.Writer }
+
+func (e textEncoder) Table(t *Table) error   { return t.Render(e.w) }
+func (e textEncoder) Plot(p *LinePlot) error { return p.Render(e.w) }
+func (e textEncoder) Bars(c *BarChart) error { return c.Render(e.w) }
+func (e textEncoder) Note(format string, args ...any) error {
+	_, err := fmt.Fprintf(e.w, format+"\n", args...)
+	return err
+}
+
+// NewJSON returns an encoder that writes newline-delimited JSON, one object
+// per element, each tagged with a "kind" field.
+func NewJSON(w io.Writer) Encoder { return jsonEncoder{json.NewEncoder(w)} }
+
+type jsonEncoder struct{ enc *json.Encoder }
+
+type jsonTable struct {
+	Kind    string     `json:"kind"`
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+type jsonSeries struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+type jsonPlot struct {
+	Kind   string       `json:"kind"`
+	Title  string       `json:"title,omitempty"`
+	XLabel string       `json:"xlabel,omitempty"`
+	YLabel string       `json:"ylabel,omitempty"`
+	Series []jsonSeries `json:"series"`
+}
+
+type jsonBars struct {
+	Kind   string    `json:"kind"`
+	Title  string    `json:"title,omitempty"`
+	Labels []string  `json:"labels"`
+	Values []float64 `json:"values"`
+}
+
+type jsonNote struct {
+	Kind string `json:"kind"`
+	Text string `json:"text"`
+}
+
+func (e jsonEncoder) Table(t *Table) error {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return e.enc.Encode(jsonTable{Kind: "table", Title: t.Title, Headers: t.Headers, Rows: rows})
+}
+
+func (e jsonEncoder) Plot(p *LinePlot) error {
+	out := jsonPlot{Kind: "plot", Title: p.Title, XLabel: p.XLabel, YLabel: p.YLabel,
+		Series: make([]jsonSeries, 0, len(p.Series))}
+	for _, s := range p.Series {
+		out.Series = append(out.Series, jsonSeries{Name: s.Name, X: s.X, Y: s.Y})
+	}
+	return e.enc.Encode(out)
+}
+
+func (e jsonEncoder) Bars(c *BarChart) error {
+	return e.enc.Encode(jsonBars{Kind: "bars", Title: c.Title, Labels: c.Labels, Values: c.Values})
+}
+
+func (e jsonEncoder) Note(format string, args ...any) error {
+	return e.enc.Encode(jsonNote{Kind: "note", Text: fmt.Sprintf(format, args...)})
+}
+
+// NewCSV returns an encoder that flattens every element into RFC 4180 CSV
+// records. Tables keep their headers; plots become (series, x, y) triples;
+// bar charts become (label, value) pairs. Titles and notes are '#' comments
+// (every line of a multi-line note is prefixed), so the stream stays
+// loadable by tools that skip comment lines.
+func NewCSV(w io.Writer) Encoder { return csvEncoder{w} }
+
+type csvEncoder struct{ w io.Writer }
+
+func (e csvEncoder) comment(s string) error {
+	if s == "" {
+		return nil
+	}
+	for _, line := range strings.Split(s, "\n") {
+		if _, err := fmt.Fprintf(e.w, "# %s\n", line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// records writes rows through encoding/csv so quoting matches the table
+// path.
+func (e csvEncoder) records(rows [][]string) error {
+	cw := csv.NewWriter(e.w)
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func (e csvEncoder) Table(t *Table) error {
+	if err := e.comment(t.Title); err != nil {
+		return err
+	}
+	return t.WriteCSV(e.w)
+}
+
+func (e csvEncoder) Plot(p *LinePlot) error {
+	if err := e.comment(p.Title); err != nil {
+		return err
+	}
+	rows := [][]string{{"series", "x", "y"}}
+	for _, s := range p.Series {
+		for i := range s.X {
+			rows = append(rows, []string{s.Name, formatFloat(s.X[i]), formatFloat(s.Y[i])})
+		}
+	}
+	return e.records(rows)
+}
+
+func (e csvEncoder) Bars(c *BarChart) error {
+	if err := e.comment(c.Title); err != nil {
+		return err
+	}
+	rows := [][]string{{"label", "value"}}
+	for i := range c.Labels {
+		rows = append(rows, []string{c.Labels[i], formatFloat(c.Values[i])})
+	}
+	return e.records(rows)
+}
+
+func (e csvEncoder) Note(format string, args ...any) error {
+	return e.comment(fmt.Sprintf(format, args...))
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,131 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{Title: "T", Headers: []string{"a", "b"}}
+	t.Add("x", 1.5)
+	t.Add("y,z", 2)
+	return t
+}
+
+func samplePlot() *LinePlot {
+	return &LinePlot{
+		Title: "P", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "s1", X: []float64{1, 2}, Y: []float64{3, 4.25}}},
+	}
+}
+
+func TestNewEncoderFormats(t *testing.T) {
+	var buf bytes.Buffer
+	for _, f := range Formats() {
+		if _, err := NewEncoder(f, &buf); err != nil {
+			t.Errorf("format %q rejected: %v", f, err)
+		}
+	}
+	if _, err := NewEncoder("yaml", &buf); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := NewEncoder("", &buf); err != nil {
+		t.Errorf("empty format should default to text: %v", err)
+	}
+}
+
+func TestTextEncoderMatchesRender(t *testing.T) {
+	var direct, encoded bytes.Buffer
+	if err := sampleTable().Render(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewText(&encoded).Table(sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	if direct.String() != encoded.String() {
+		t.Errorf("text encoder diverges from Render:\n%q\n%q", direct.String(), encoded.String())
+	}
+}
+
+func TestJSONEncoderStreamsTaggedObjects(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewJSON(&buf)
+	if err := enc.Table(sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Plot(samplePlot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Bars(&BarChart{Title: "B", Labels: []string{"l"}, Values: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Note("n = %d", 7); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 NDJSON lines, got %d:\n%s", len(lines), buf.String())
+	}
+	kinds := []string{"table", "plot", "bars", "note"}
+	for i, line := range lines {
+		var el map[string]any
+		if err := json.Unmarshal([]byte(line), &el); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+		if el["kind"] != kinds[i] {
+			t.Errorf("line %d kind = %v, want %s", i, el["kind"], kinds[i])
+		}
+	}
+	if !strings.Contains(lines[3], "n = 7") {
+		t.Errorf("note text lost: %s", lines[3])
+	}
+}
+
+func TestCSVEncoderFlattens(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewCSV(&buf)
+	if err := enc.Table(sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Plot(samplePlot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Note("hello"); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Note("line one\nline two"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# T", "a,b", `"y,z",2`, "# P", "series,x,y", "s1,2,4.25", "# hello", "# line two"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV output missing %q:\n%s", want, out)
+		}
+	}
+	// Every line is either a comment or a CSV record; multi-line notes must
+	// not leak bare text into the record stream.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "line two" {
+			t.Errorf("multi-line note leaked an uncommented line: %q", line)
+		}
+	}
+}
+
+func TestCSVEncoderQuotesRFC4180(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewCSV(&buf)
+	p := &LinePlot{Series: []Series{{Name: `he said "hi", bye`, X: []float64{1}, Y: []float64{2}}}}
+	if err := enc.Plot(p); err != nil {
+		t.Fatal(err)
+	}
+	// encoding/csv doubles quotes; Go-style backslash escaping would garble
+	// the row for compliant CSV parsers.
+	if want := `"he said ""hi"", bye",1,2`; !strings.Contains(buf.String(), want) {
+		t.Errorf("plot row not RFC 4180 quoted, want %s in:\n%s", want, buf.String())
+	}
+}

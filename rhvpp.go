@@ -14,16 +14,27 @@
 //   - Lab gives interactive access to a single simulated module: sweep VPP,
 //     hammer rows, measure HCfirst / BER / tRCDmin / retention, exactly as
 //     the paper's Algorithms 1-3 do.
-//   - RunExperiment regenerates any table or figure from the paper's
-//     evaluation by name ("table3", "fig5", "fig10a", ...), writing the
-//     rows/series to the supplied writer.
+//   - Campaign is one characterization session over the tested population,
+//     mirroring how the paper's evaluation works: a handful of underlying
+//     studies (the RowHammer sweep, the tRCD sweep, the retention ladder,
+//     the SPICE waveform and Monte-Carlo campaigns, the word-granularity
+//     analysis) each run once — concurrently across modules, cancellable
+//     via context — and every table and figure renders from those shared
+//     results through a pluggable text/JSON/CSV encoder.
+//
+// A minimal session:
+//
+//	c, err := rhvpp.NewCampaign(rhvpp.DefaultOptions())   // validates Options
+//	enc, err := rhvpp.NewEncoder(rhvpp.FormatJSON, os.Stdout)
+//	for _, e := range rhvpp.Experiments() {
+//		if err := c.Run(ctx, e.ID, enc); err != nil { ... }
+//	}
+//
+// RunExperiment remains as a one-shot convenience wrapper over a throwaway
+// Campaign for callers that only need a single table or figure.
 package rhvpp
 
 import (
-	"fmt"
-	"io"
-	"sort"
-
 	"github.com/dramstudy/rhvpp/internal/core"
 	"github.com/dramstudy/rhvpp/internal/dram"
 	"github.com/dramstudy/rhvpp/internal/experiments"
@@ -54,6 +65,23 @@ type (
 	RetentionResult = core.RetentionResult
 	// Pattern is a canonical DRAM test data pattern.
 	Pattern = pattern.Kind
+
+	// RowHammerStudy is the shared Fig. 3-6 / Table 3 campaign result.
+	RowHammerStudy = experiments.RowHammerStudy
+	// ModuleSweep is one module's RowHammer-vs-VPP characterization.
+	ModuleSweep = experiments.ModuleSweep
+	// TRCDStudy is the shared Fig. 7 / §6.1 campaign result.
+	TRCDStudy = experiments.TRCDStudy
+	// RetentionStudy is the shared Fig. 10 campaign result.
+	RetentionStudy = experiments.RetentionStudy
+	// WordAnalysis is the shared Fig. 11 campaign result.
+	WordAnalysis = experiments.WordAnalysis
+	// Waveforms holds the shared Fig. 8a / 9a SPICE transient traces.
+	Waveforms = experiments.Waveforms
+	// MCStudy is the shared Fig. 8b / 9b SPICE Monte-Carlo result.
+	MCStudy = experiments.MCStudy
+	// CVStudy is the §4.6 measurement-variation analysis result.
+	CVStudy = experiments.CVStudy
 )
 
 // Re-exported constants.
@@ -228,222 +256,4 @@ func (l *Lab) RecommendVPP(rows []int) (float64, error) {
 	}
 	rec, _, err := mitigation.RecommendVPP(vpps, hcs, bers)
 	return rec, err
-}
-
-// experimentRunners maps experiment ids to their drivers.
-var experimentRunners = map[string]func(Options, io.Writer) error{
-	"table1": func(o Options, w io.Writer) error { return experiments.Table1(w) },
-	"table2": func(o Options, w io.Writer) error { return experiments.Table2(w) },
-	"table3": func(o Options, w io.Writer) error {
-		st, err := experiments.RunRowHammerStudy(o)
-		if err != nil {
-			return err
-		}
-		return st.Table3().Render(w)
-	},
-	"fig3": func(o Options, w io.Writer) error {
-		st, err := experiments.RunRowHammerStudy(o)
-		if err != nil {
-			return err
-		}
-		return st.RenderFig3(w)
-	},
-	"fig4": func(o Options, w io.Writer) error {
-		st, err := experiments.RunRowHammerStudy(o)
-		if err != nil {
-			return err
-		}
-		return st.RenderFig4(w)
-	},
-	"fig5": func(o Options, w io.Writer) error {
-		st, err := experiments.RunRowHammerStudy(o)
-		if err != nil {
-			return err
-		}
-		return st.RenderFig5(w)
-	},
-	"fig6": func(o Options, w io.Writer) error {
-		st, err := experiments.RunRowHammerStudy(o)
-		if err != nil {
-			return err
-		}
-		return st.RenderFig6(w)
-	},
-	"summary": func(o Options, w io.Writer) error {
-		st, err := experiments.RunRowHammerStudy(o)
-		if err != nil {
-			return err
-		}
-		return st.Section5Aggregates().Render(w)
-	},
-	"fig7": func(o Options, w io.Writer) error {
-		st, err := experiments.RunTRCDStudy(o)
-		if err != nil {
-			return err
-		}
-		return st.RenderFig7(w)
-	},
-	"guardband": func(o Options, w io.Writer) error {
-		st, err := experiments.RunTRCDStudy(o)
-		if err != nil {
-			return err
-		}
-		return st.Summary().Render(w)
-	},
-	"fig8a": func(o Options, w io.Writer) error {
-		wf, err := experiments.RunWaveforms()
-		if err != nil {
-			return err
-		}
-		return wf.RenderFig8a(w)
-	},
-	"fig8b": func(o Options, w io.Writer) error {
-		st, err := experiments.RunMCStudy(o)
-		if err != nil {
-			return err
-		}
-		return st.RenderFig8b(w)
-	},
-	"fig9a": func(o Options, w io.Writer) error {
-		wf, err := experiments.RunWaveforms()
-		if err != nil {
-			return err
-		}
-		return wf.RenderFig9a(w)
-	},
-	"fig9b": func(o Options, w io.Writer) error {
-		st, err := experiments.RunMCStudy(o)
-		if err != nil {
-			return err
-		}
-		return st.RenderFig9b(w)
-	},
-	"fig10a": func(o Options, w io.Writer) error {
-		st, err := experiments.RunRetentionStudy(o)
-		if err != nil {
-			return err
-		}
-		return st.RenderFig10a(w)
-	},
-	"fig10b": func(o Options, w io.Writer) error {
-		st, err := experiments.RunRetentionStudy(o)
-		if err != nil {
-			return err
-		}
-		return st.RenderFig10b(w)
-	},
-	"fig11": func(o Options, w io.Writer) error {
-		wa, err := experiments.RunWordAnalysis(o)
-		if err != nil {
-			return err
-		}
-		return wa.RenderFig11(w)
-	},
-	"cv": func(o Options, w io.Writer) error {
-		st, err := experiments.RunCVStudy(o)
-		if err != nil {
-			return err
-		}
-		return st.Render(w)
-	},
-	"abl-attacks": func(o Options, w io.Writer) error {
-		cmp, err := experiments.RunAttackComparison(o, firstModule(o, "B0"), 60000)
-		if err != nil {
-			return err
-		}
-		return cmp.Render(w)
-	},
-	"abl-wcdp": func(o Options, w io.Writer) error {
-		st, err := experiments.RunWCDPStability(o, firstModule(o, "C0"))
-		if err != nil {
-			return err
-		}
-		return st.Render(w)
-	},
-	"abl-trr": func(o Options, w io.Writer) error {
-		ab, err := experiments.RunTRRAblation(o, firstModule(o, "B0"), 64000)
-		if err != nil {
-			return err
-		}
-		return ab.Render(w)
-	},
-	"abl-defense": func(o Options, w io.Writer) error {
-		name := firstModule(o, "B3")
-		prof, ok := physics.ProfileByName(name)
-		if !ok {
-			return fmt.Errorf("rhvpp: unknown module %s", name)
-		}
-		sw, err := experiments.RunModuleSweep(o, prof)
-		if err != nil {
-			return err
-		}
-		dc, err := experiments.RunDefenseCost(sw)
-		if err != nil {
-			return err
-		}
-		return dc.Render(w)
-	},
-	"abl-secded": func(o Options, w io.Writer) error {
-		cov, err := experiments.RunSECDEDCoverage(o, firstModule(o, "B6"))
-		if err != nil {
-			return err
-		}
-		return cov.Render(w)
-	},
-	"ext-temp": func(o Options, w io.Writer) error {
-		ti, err := experiments.RunTempInteraction(o, firstModule(o, "B3"), nil)
-		if err != nil {
-			return err
-		}
-		return ti.Render(w)
-	},
-	"ext-attacks": func(o Options, w io.Writer) error {
-		sd, err := experiments.RunDefenseShowdown(o, firstModule(o, "B0"), 400_000, 4000)
-		if err != nil {
-			return err
-		}
-		return sd.Render(w)
-	},
-	"ext-retfine": func(o Options, w io.Writer) error {
-		st, err := experiments.RunFineRefreshStudy(o, firstModule(o, "B6"))
-		if err != nil {
-			return err
-		}
-		return st.Render(w)
-	},
-	"ext-power": func(o Options, w io.Writer) error {
-		ps, err := experiments.RunPowerStudy(o, firstModule(o, "B3"))
-		if err != nil {
-			return err
-		}
-		return ps.Render(w)
-	},
-}
-
-// firstModule returns the first selected module name or the fallback.
-func firstModule(o Options, fallback string) string {
-	if len(o.ModuleNames) > 0 {
-		return o.ModuleNames[0]
-	}
-	return fallback
-}
-
-// ExperimentNames lists the runnable experiment ids in stable order.
-func ExperimentNames() []string {
-	names := make([]string, 0, len(experimentRunners))
-	for n := range experimentRunners {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
-
-// RunExperiment regenerates one of the paper's tables or figures (or an
-// ablation) by id, writing the result to w.
-func RunExperiment(name string, o Options, w io.Writer) error {
-	run, ok := experimentRunners[name]
-	if !ok {
-		return fmt.Errorf("rhvpp: unknown experiment %q (known: %v)", name, ExperimentNames())
-	}
-	return run(o, w)
 }

@@ -1,0 +1,149 @@
+// Command spicebench measures the SPICE solver's headline throughput —
+// transient steps per second and Monte-Carlo runs per second, incremental
+// engine vs the dense finite-difference reference — and writes a JSON
+// snapshot. CI runs it on every change so the perf trajectory of the
+// hottest path in the repository is recorded next to the code
+// (BENCH_spice.json at the repository root holds the latest committed
+// snapshot).
+//
+//	spicebench -out BENCH_spice.json
+//	spicebench -runs 64 -jobs 4
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/dramstudy/rhvpp/internal/spice"
+)
+
+// Snapshot is the serialized benchmark result.
+type Snapshot struct {
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	// Transient-step throughput on the Table 2 netlist at nominal VPP.
+	StepNSIncremental float64 `json:"transient_step_ns_incremental"`
+	StepNSReference   float64 `json:"transient_step_ns_reference"`
+	StepSpeedup       float64 `json:"transient_step_speedup"`
+
+	// Monte-Carlo campaign throughput at 2.0 V, ±5% variation.
+	MCRunsPerSecReference float64 `json:"mc_runs_per_sec_serial_reference"`
+	MCRunsPerSecJobs1     float64 `json:"mc_runs_per_sec_jobs1"`
+	MCRunsPerSecJobs      float64 `json:"mc_runs_per_sec_jobs"`
+	MCJobs                int     `json:"mc_jobs"`
+	MCSpeedupJobs1        float64 `json:"mc_speedup_jobs1_vs_reference"`
+	MCSpeedupJobs         float64 `json:"mc_speedup_jobs_vs_reference"`
+}
+
+func main() {
+	var (
+		out  = flag.String("out", "", "write the JSON snapshot to this file (default stdout)")
+		runs = flag.Int("runs", 48, "Monte-Carlo runs per measurement")
+		jobs = flag.Int("jobs", 4, "worker count for the parallel Monte-Carlo measurement")
+	)
+	flag.Parse()
+
+	snap, err := measure(*runs, *jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spicebench:", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spicebench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "spicebench:", err)
+		os.Exit(1)
+	}
+}
+
+func measure(runs, jobs int) (Snapshot, error) {
+	snap := Snapshot{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		MCJobs:    jobs,
+	}
+
+	// Transient step cost: one full nominal-VPP activation per engine,
+	// repeated until the measurement is stable enough to quote.
+	var err error
+	snap.StepNSIncremental, err = stepCost(spice.SimulateActivation)
+	if err != nil {
+		return snap, err
+	}
+	snap.StepNSReference, err = stepCost(spice.SimulateActivationReference)
+	if err != nil {
+		return snap, err
+	}
+	snap.StepSpeedup = ratio(snap.StepNSReference, snap.StepNSIncremental)
+
+	ref, err := mcThroughput(spice.MCConfig{Runs: runs, Jobs: 1, Reference: true})
+	if err != nil {
+		return snap, err
+	}
+	one, err := mcThroughput(spice.MCConfig{Runs: runs, Jobs: 1})
+	if err != nil {
+		return snap, err
+	}
+	many, err := mcThroughput(spice.MCConfig{Runs: runs, Jobs: jobs})
+	if err != nil {
+		return snap, err
+	}
+	snap.MCRunsPerSecReference = ref
+	snap.MCRunsPerSecJobs1 = one
+	snap.MCRunsPerSecJobs = many
+	snap.MCSpeedupJobs1 = ratio(one, ref)
+	snap.MCSpeedupJobs = ratio(many, ref)
+	return snap, nil
+}
+
+// stepCost times activations until ~100ms has elapsed and returns ns/step.
+func stepCost(sim func(spice.CellParams, spice.Probe) (spice.ActivationResult, error)) (float64, error) {
+	p := spice.DefaultCellParams(2.5)
+	steps := 0
+	start := time.Now()
+	for time.Since(start) < 100*time.Millisecond {
+		if _, err := sim(p, func(_, _, _ float64) { steps++ }); err != nil {
+			return 0, err
+		}
+	}
+	if steps == 0 {
+		return 0, fmt.Errorf("no steps executed")
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(steps), nil
+}
+
+// mcThroughput returns Monte-Carlo runs per second for the configuration.
+func mcThroughput(cfg spice.MCConfig) (float64, error) {
+	cfg.VPP, cfg.Seed, cfg.Variation = 2.0, 2022, 0.05
+	if _, err := spice.MonteCarlo(cfg.VPP, 2, cfg.Seed, cfg.Variation); err != nil { // warm-up
+		return 0, err
+	}
+	start := time.Now()
+	if _, err := spice.RunMonteCarlo(context.Background(), cfg); err != nil {
+		return 0, err
+	}
+	return float64(cfg.Runs) / time.Since(start).Seconds(), nil
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -337,6 +338,147 @@ func TestMeasureBERSeriesCV(t *testing.T) {
 	cv := math.Sqrt(varSum/10) / mean
 	if cv < 0 || cv > 0.5 {
 		t.Errorf("CV = %v, want within (0, 0.5)", cv)
+	}
+}
+
+// hcSearchConfig returns a small search whose bisection probes are easy to
+// trace: starting at RefHC=10000 with steps 8000, 4000, 2000 and a 1000
+// grain.
+func hcSearchConfig() Config {
+	cfg := Quick()
+	cfg.RefHC = 10_000
+	cfg.InitialHCStep = 8_000
+	cfg.MinHCStep = 1_000
+	return cfg
+}
+
+// thresholdMeasure mocks the controller measurement with a deterministic
+// flip threshold: any hammer count at or above the threshold flips.
+func thresholdMeasure(threshold int, probes *[]int) func(hc int) (float64, error) {
+	return func(hc int) (float64, error) {
+		if probes != nil {
+			*probes = append(*probes, hc)
+		}
+		if hc >= threshold {
+			return 0.01, nil
+		}
+		return 0, nil
+	}
+}
+
+// TestHCFirstSearchVerifiesUndershoot is the regression test for the Alg. 1
+// off-by-one: with a flip threshold of 12500 the bisection probes 10000
+// (clean), 18000 (flip), 14000 (flip) and blindly lands on 12000 — a count
+// at which no flip was ever measured, below every probe that flipped. The
+// verification pass must detect the clean candidate and step up to 13000,
+// the lowest flipping count on the grain grid.
+func TestHCFirstSearchVerifiesUndershoot(t *testing.T) {
+	var probes []int
+	hc, err := hcFirstSearch(context.Background(), hcSearchConfig(),
+		thresholdMeasure(12_500, &probes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc != 13_000 {
+		t.Errorf("hc = %d, want 13000 (probes: %v)", hc, probes)
+	}
+	if ber, _ := thresholdMeasure(12_500, nil)(hc); ber == 0 {
+		t.Errorf("returned hc %d does not flip", hc)
+	}
+}
+
+// TestHCFirstSearchRefinesOvershoot: with a threshold of 10500 the bisection
+// also lands on 12000, which flips — but 11000 flips too. The verification
+// pass must walk down to the minimal flipping grid point.
+func TestHCFirstSearchRefinesOvershoot(t *testing.T) {
+	hc, err := hcFirstSearch(context.Background(), hcSearchConfig(),
+		thresholdMeasure(10_500, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc != 11_000 {
+		t.Errorf("hc = %d, want 11000", hc)
+	}
+}
+
+// TestHCFirstSearchReturnsFlippingCount sweeps thresholds across the whole
+// search range: wherever the bisection lands, the returned count must flip
+// whenever the threshold is within the search's reach.
+func TestHCFirstSearchReturnsFlippingCount(t *testing.T) {
+	cfg := hcSearchConfig()
+	for threshold := 3_000; threshold <= 23_000; threshold += 500 {
+		measure := thresholdMeasure(threshold, nil)
+		hc, err := hcFirstSearch(context.Background(), cfg, measure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ber, _ := measure(hc)
+		if ber == 0 {
+			t.Errorf("threshold %d: returned hc %d never flips", threshold, hc)
+		}
+		if hc < threshold-cfg.MinHCStep && ber > 0 {
+			t.Errorf("threshold %d: hc %d flips below the threshold?", threshold, hc)
+		}
+	}
+}
+
+// TestHCFirstSearchStrongRowKeepsCeiling: a threshold beyond the search
+// range can never be verified; the search reports its ceiling estimate
+// rather than looping forever.
+func TestHCFirstSearchStrongRowKeepsCeiling(t *testing.T) {
+	var probes []int
+	hc, err := hcFirstSearch(context.Background(), hcSearchConfig(),
+		thresholdMeasure(1_000_000, &probes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc < 24_000 || hc > 28_000 {
+		t.Errorf("hc = %d, want the search ceiling ~24000..28000 (probes: %v)", hc, probes)
+	}
+}
+
+func TestHCFirstSearchHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := hcFirstSearch(ctx, hcSearchConfig(), thresholdMeasure(12_500, nil))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestAggressorsForProbedAdjacency pins the probed-map precedence rules: a
+// probed pair overrides the scheme, a probed boundary row (fewer than two
+// neighbors) is ErrNoAggressors rather than a fabricated scheme pair, and
+// only unprobed victims fall back to the vendor scheme.
+func TestAggressorsForProbedAdjacency(t *testing.T) {
+	tr := newTester(t, "B0", Quick())
+	tr.UseAdjacency(mapping.AdjacencyMap{
+		100: {42, 77}, // probed interior pair, deliberately unlike ±1
+		200: {199},    // probed subarray boundary: single neighbor
+		250: {},       // probed but empty: nothing usable either
+	})
+
+	lo, hi, err := tr.AggressorsFor(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 42 || hi != 77 {
+		t.Errorf("probed pair = %d,%d, want 42,77", lo, hi)
+	}
+
+	for _, victim := range []int{200, 250} {
+		if _, _, err := tr.AggressorsFor(victim); !errors.Is(err, ErrNoAggressors) {
+			t.Errorf("probed boundary victim %d: err = %v, want ErrNoAggressors", victim, err)
+		}
+	}
+
+	// Unprobed victims still resolve through the scheme.
+	lo, hi, err = tr.AggressorsFor(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 299 || hi != 301 {
+		t.Errorf("unprobed fallback = %d,%d, want 299,301", lo, hi)
 	}
 }
 

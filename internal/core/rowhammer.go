@@ -53,14 +53,21 @@ func (t *Tester) Config() Config { return t.cfg }
 func (t *Tester) UseAdjacency(adj mapping.AdjacencyMap) { t.adj = adj }
 
 // AggressorsFor returns the two logical row addresses physically adjacent to
-// the victim. Probed adjacency is preferred; otherwise the vendor's
-// documented scrambling scheme (published by prior reverse-engineering work)
-// is consulted. Victims at subarray boundaries have no usable pair.
+// the victim. Probed adjacency is preferred; the vendor's documented
+// scrambling scheme (published by prior reverse-engineering work) is
+// consulted only for victims the probe never resolved. A probed victim with
+// fewer than two neighbors sits at a subarray boundary: it has no usable
+// double-sided pair, and falling back to the scheme there would hammer a
+// fabricated pair across the boundary — so it is an ErrNoAggressors error
+// instead.
 func (t *Tester) AggressorsFor(victim int) (lo, hi int, err error) {
-	if t.adj != nil {
-		if ns, nerr := t.adj.Neighbors(victim); nerr == nil && len(ns) == 2 {
-			return ns[0], ns[1], nil
+	if t.adj != nil && t.adj.Probed(victim) {
+		ns, nerr := t.adj.Neighbors(victim)
+		if nerr != nil || len(ns) != 2 {
+			return 0, 0, fmt.Errorf("victim %d: probed with %d neighbor(s): %w",
+				victim, len(ns), ErrNoAggressors)
 		}
+		return ns[0], ns[1], nil
 	}
 	geom := t.ctrl.Module().Geometry()
 	sch := t.ctrl.Module().Scheme()
@@ -147,13 +154,37 @@ func (t *Tester) measureBERMax(victim int, pat pattern.Kind, hc, iters int) (flo
 // hammer count at which the victim exhibits a bit flip, using the given data
 // pattern and iteration count.
 func (t *Tester) HCFirstSearch(victim int, pat pattern.Kind, iters int) (int, error) {
-	hc := t.cfg.RefHC
-	step := t.cfg.InitialHCStep
-	for step > t.cfg.MinHCStep {
-		if err := t.interrupted(); err != nil {
+	return hcFirstSearch(t.ctx, t.cfg, func(hc int) (float64, error) {
+		return t.measureBERMax(victim, pat, hc, iters)
+	})
+}
+
+// verifyWalkSteps bounds the post-bisection repair walk. Under a monotone
+// flip response the bisection's final candidate lies within twice the step
+// floor of the true boundary (the sum of the steps it never applied), so
+// two grains cover the systematic error and the rest absorb measurement
+// noise.
+const verifyWalkSteps = 4
+
+// hcFirstSearch is the Alg. 1 search over an abstract measurement, so the
+// algorithm can be regression-tested against synthetic flip thresholds
+// without a simulated module behind it.
+//
+// The divide-and-conquer loop halves its step after every probe but never
+// re-measures the candidate it finally lands on: the last adjustment is
+// applied blindly, so the returned count could sit below every hammer count
+// that ever flipped (or above every count that stayed clean) — reporting an
+// HCfirst at which no flip was observed. The verification pass re-measures
+// the candidate and walks it to the lowest flipping count on the MinHCStep
+// grid.
+func hcFirstSearch(ctx context.Context, cfg Config, measure func(hc int) (float64, error)) (int, error) {
+	hc := cfg.RefHC
+	step := cfg.InitialHCStep
+	for step > cfg.MinHCStep {
+		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		berMax, err := t.measureBERMax(victim, pat, hc, iters)
+		berMax, err := measure(hc)
 		if err != nil {
 			return 0, err
 		}
@@ -164,8 +195,52 @@ func (t *Tester) HCFirstSearch(victim int, pat pattern.Kind, iters int) (int, er
 		}
 		step /= 2
 	}
+	grain := cfg.MinHCStep
+	if grain < 1 {
+		grain = 1
+	}
 	if hc < 1 {
 		hc = 1
+	}
+
+	// Verification pass: confirm the candidate actually flips, then refine
+	// to the lowest flipping count reachable on the grain grid.
+	berMax, err := measure(hc)
+	if err != nil {
+		return 0, err
+	}
+	if berMax == 0 {
+		// Undershoot: step up to the first count that flips. If nothing in
+		// reach flips, the row is stronger than the search resolution; the
+		// ceiling estimate is all Alg. 1 can report.
+		for i := 0; i < verifyWalkSteps; i++ {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			berMax, err = measure(hc + grain)
+			if err != nil {
+				return 0, err
+			}
+			hc += grain
+			if berMax > 0 {
+				break
+			}
+		}
+		return hc, nil
+	}
+	// Overshoot: step down while the next lower grid point still flips.
+	for i := 0; i < verifyWalkSteps && hc > grain; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		below, err := measure(hc - grain)
+		if err != nil {
+			return 0, err
+		}
+		if below == 0 {
+			break
+		}
+		hc -= grain
 	}
 	return hc, nil
 }

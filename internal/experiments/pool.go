@@ -2,84 +2,14 @@ package experiments
 
 import (
 	"context"
-	"errors"
-	"sync"
+
+	"github.com/dramstudy/rhvpp/internal/pool"
 )
 
-// runPool maps fn over items with a bounded worker pool. Results land at the
-// index of their item, so callers observe the same stable order regardless of
-// the worker count; the first failure cancels the remaining work. With
-// jobs <= 1 the pool degenerates to a plain serial loop on the calling
-// goroutine.
+// runPool maps fn over items with a bounded worker pool; see pool.Run for
+// the ordering and cancellation contract. The implementation lives in
+// internal/pool so the SPICE Monte-Carlo campaign shares the same pool.
 func runPool[In, Out any](ctx context.Context, jobs int, items []In,
 	fn func(ctx context.Context, item In) (Out, error)) ([]Out, error) {
-	out := make([]Out, len(items))
-	if len(items) == 0 {
-		return out, ctx.Err()
-	}
-	if jobs > len(items) {
-		jobs = len(items)
-	}
-	if jobs <= 1 {
-		for i, item := range items {
-			if err := ctx.Err(); err != nil {
-				return out, err
-			}
-			res, err := fn(ctx, item)
-			if err != nil {
-				return out, err
-			}
-			out[i] = res
-		}
-		return out, nil
-	}
-
-	parent := ctx
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	errs := make([]error, len(items))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(jobs)
-	for w := 0; w < jobs; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				res, err := fn(ctx, items[i])
-				if err != nil {
-					errs[i] = err
-					cancel() // stop handing out new items
-					continue
-				}
-				out[i] = res
-			}
-		}()
-	}
-feed:
-	for i := range items {
-		select {
-		case next <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(next)
-	wg.Wait()
-
-	// The caller's cancellation wins; otherwise prefer the lowest-index
-	// genuine failure over cancellation fallout from our own cancel().
-	if err := parent.Err(); err != nil {
-		return out, err
-	}
-	for _, err := range errs {
-		if err != nil && !errors.Is(err, context.Canceled) {
-			return out, err
-		}
-	}
-	for _, err := range errs {
-		if err != nil {
-			return out, err
-		}
-	}
-	return out, nil
+	return pool.Run(ctx, jobs, items, fn)
 }

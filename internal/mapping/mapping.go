@@ -141,6 +141,16 @@ func (a AdjacencyMap) Neighbors(victim int) ([]int, error) {
 	return ns, nil
 }
 
+// Probed reports whether the victim was resolved during probing at all.
+// This is distinct from having a usable pair: a probed row with a single
+// neighbor sits at a subarray boundary — the probe positively established
+// that no double-sided pair exists, which callers must not paper over with
+// a scheme-derived guess.
+func (a AdjacencyMap) Probed(victim int) bool {
+	_, ok := a[victim]
+	return ok
+}
+
 // ReverseEngineer discovers physical adjacency for every row in a window of
 // logical addresses, exactly as prior work does on real devices: each row is
 // hammered single-sided with an escalating activation count, and every

@@ -217,3 +217,23 @@ func TestQuickInvolutionSchemes(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAdjacencyProbedVsNeighbors(t *testing.T) {
+	adj := AdjacencyMap{
+		10: {9, 11}, // interior pair
+		20: {19},    // subarray boundary: one neighbor
+	}
+	for victim, want := range map[int]bool{10: true, 20: true, 30: false} {
+		if got := adj.Probed(victim); got != want {
+			t.Errorf("Probed(%d) = %v, want %v", victim, got, want)
+		}
+	}
+	// A probed boundary row keeps its (single) neighbor list; only unprobed
+	// rows report ErrNoNeighbors.
+	if ns, err := adj.Neighbors(20); err != nil || len(ns) != 1 {
+		t.Errorf("Neighbors(20) = %v, %v; want the single probed neighbor", ns, err)
+	}
+	if _, err := adj.Neighbors(30); err == nil {
+		t.Error("Neighbors(30) succeeded for an unprobed victim")
+	}
+}

@@ -1,0 +1,90 @@
+// Package pool provides the bounded worker pool shared by the experiment
+// drivers (module sweeps) and the SPICE Monte-Carlo campaign. Results land
+// at the index of their item, so callers observe the same stable order
+// regardless of the worker count — the property the repository's
+// byte-identical-output guarantee rests on.
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Run maps fn over items with at most jobs concurrent workers. Results land
+// at the index of their item, so callers observe the same stable order
+// regardless of the worker count; the first failure cancels the remaining
+// work. With jobs <= 1 the pool degenerates to a plain serial loop on the
+// calling goroutine.
+func Run[In, Out any](ctx context.Context, jobs int, items []In,
+	fn func(ctx context.Context, item In) (Out, error)) ([]Out, error) {
+	out := make([]Out, len(items))
+	if len(items) == 0 {
+		return out, ctx.Err()
+	}
+	if jobs > len(items) {
+		jobs = len(items)
+	}
+	if jobs <= 1 {
+		for i, item := range items {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			res, err := fn(ctx, item)
+			if err != nil {
+				return out, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(items))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := fn(ctx, items[i])
+				if err != nil {
+					errs[i] = err
+					cancel() // stop handing out new items
+					continue
+				}
+				out[i] = res
+			}
+		}()
+	}
+feed:
+	for i := range items {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	// The caller's cancellation wins; otherwise prefer the lowest-index
+	// genuine failure over cancellation fallout from our own cancel().
+	if err := parent.Err(); err != nil {
+		return out, err
+	}
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return out, err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

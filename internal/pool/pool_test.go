@@ -1,0 +1,72 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunPreservesOrder(t *testing.T) {
+	items := make([]int, 40)
+	for i := range items {
+		items[i] = i
+	}
+	for _, jobs := range []int{1, 3, 8, 64} {
+		out, err := Run(context.Background(), jobs, items,
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("jobs=%d: out[%d] = %d", jobs, i, v)
+			}
+		}
+	}
+}
+
+func TestRunReportsLowestIndexFailure(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	boom := errors.New("boom")
+	_, err := Run(context.Background(), 4, items, func(_ context.Context, i int) (int, error) {
+		if i >= 3 {
+			return 0, fmt.Errorf("item %d: %w", i, boom)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestRunHonorsCallerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int32
+	_, err := Run(ctx, 4, []int{1, 2, 3}, func(_ context.Context, i int) (int, error) {
+		calls.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() > 3 {
+		t.Fatalf("%d calls after cancellation", calls.Load())
+	}
+}
+
+func TestRunEmptyAndSerial(t *testing.T) {
+	out, err := Run(context.Background(), 4, nil,
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty run: %v, %v", out, err)
+	}
+	serial, err := Run(context.Background(), 1, []int{5, 6},
+		func(_ context.Context, i int) (int, error) { return i + 1, nil })
+	if err != nil || !reflect.DeepEqual(serial, []int{6, 7}) {
+		t.Fatalf("serial run: %v, %v", serial, err)
+	}
+}

@@ -100,6 +100,18 @@ type Probe func(tNS, vBitline, vCell float64)
 // and the cell is restored through the access transistor. It returns the
 // tRCDmin / tRASmin measurements.
 func SimulateActivation(p CellParams, probe Probe) (ActivationResult, error) {
+	return simulateActivation(p, probe, NewTransient)
+}
+
+// SimulateActivationReference runs the same activation on the dense
+// finite-difference reference engine (see NewTransientReference). It exists
+// so the golden-equivalence tests and benchmarks can compare the
+// incremental solver against the historical behavior.
+func SimulateActivationReference(p CellParams, probe Probe) (ActivationResult, error) {
+	return simulateActivation(p, probe, NewTransientReference)
+}
+
+func simulateActivation(p CellParams, probe Probe, newEngine func(*Circuit, float64) *Transient) (ActivationResult, error) {
 	if p.VDD <= 0 || p.VPP <= 0 || p.StepPS <= 0 {
 		return ActivationResult{}, errors.New("spice: invalid cell parameters")
 	}
@@ -159,7 +171,7 @@ func SimulateActivation(p CellParams, probe Probe) (ActivationResult, error) {
 	ckt.SetInitial(san, vpre)
 	ckt.SetInitial(sap, vpre)
 
-	tr := NewTransient(ckt, p.StepPS*1e-12)
+	tr := newEngine(ckt, p.StepPS*1e-12)
 
 	var res ActivationResult
 	vth := p.VTHFrac * p.VDD

@@ -1,8 +1,12 @@
 package spice
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 
+	"github.com/dramstudy/rhvpp/internal/pool"
 	"github.com/dramstudy/rhvpp/internal/rng"
 )
 
@@ -20,7 +24,33 @@ type MCResult struct {
 	// Unrestored counts runs whose charge restoration did not complete
 	// within the horizon.
 	Unrestored int
+	// NoConverge counts runs whose Newton iteration failed to converge.
+	// Such runs yield no trustworthy measurement, so they are also counted
+	// as Unreliable and Unrestored — exactly the low-VPP regime the Fig.
+	// 8b/9b distributions care about, which is why a diverging sample must
+	// not abort the whole campaign.
+	NoConverge int
 	Runs       int
+}
+
+// record classifies one run's outcome into the campaign aggregates.
+func (r *MCResult) record(out ActivationResult, noConverge bool) {
+	if noConverge {
+		r.NoConverge++
+		r.Unreliable++
+		r.Unrestored++
+		return
+	}
+	if out.Reliable {
+		r.TRCDminNS = append(r.TRCDminNS, out.TRCDminNS)
+	} else {
+		r.Unreliable++
+	}
+	if out.Restored {
+		r.TRASminNS = append(r.TRASminNS, out.TRASminNS)
+	} else {
+		r.Unrestored++
+	}
 }
 
 // WorstTRCDminNS returns the largest observed reliable tRCDmin (the
@@ -77,28 +107,83 @@ func Vary(p CellParams, s *rng.Stream, frac float64) CellParams {
 	return p
 }
 
+// MCConfig parameterizes a Monte-Carlo campaign at one VPP level.
+type MCConfig struct {
+	// VPP is the wordline voltage under test.
+	VPP float64
+	// Runs is the campaign size (the paper runs 10K per level).
+	Runs int
+	// Seed selects the sampled device population.
+	Seed uint64
+	// Variation is the relative component spread (the paper's ±5% is 0.05).
+	Variation float64
+	// Jobs bounds how many runs simulate concurrently (0 = one worker per
+	// CPU). Every run draws from its own index-derived RNG stream and runs
+	// aggregate in index order, so the result is byte-identical at any
+	// worker count.
+	Jobs int
+	// Reference routes every run through the dense finite-difference
+	// reference engine instead of the incremental solver. It exists for the
+	// equivalence tests and as the benchmarks' pre-rework baseline.
+	Reference bool
+}
+
+// jobs resolves the worker bound.
+func (c MCConfig) jobs() int {
+	if c.Jobs > 0 {
+		return c.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // MonteCarlo runs the activation simulation `runs` times at the given VPP
 // with ±variation parameter spread, mirroring the paper's 10K-run campaign
-// per voltage level.
+// per voltage level. It is the serial convenience form of RunMonteCarlo.
 func MonteCarlo(vpp float64, runs int, seed uint64, variation float64) (MCResult, error) {
-	res := MCResult{VPP: vpp, Runs: runs}
-	root := rng.New(seed).Derive("spice-mc", fmt.Sprintf("%.2f", vpp))
-	for i := 0; i < runs; i++ {
-		p := Vary(DefaultCellParams(vpp), root.Derive("run", i), variation)
-		out, err := SimulateActivation(p, nil)
-		if err != nil {
-			return res, fmt.Errorf("run %d: %w", i, err)
+	return RunMonteCarlo(context.Background(), MCConfig{
+		VPP: vpp, Runs: runs, Seed: seed, Variation: variation, Jobs: 1,
+	})
+}
+
+// mcRun is one sample's outcome, kept per-index so aggregation order never
+// depends on worker scheduling.
+type mcRun struct {
+	out        ActivationResult
+	noConverge bool
+}
+
+// RunMonteCarlo executes the Monte-Carlo campaign described by cfg across a
+// bounded worker pool. Runs that fail to converge are recorded in
+// MCResult.NoConverge (and counted unreliable/unrestored) rather than
+// aborting the campaign; any other simulation failure — e.g. a singular
+// system from degenerate parameters — is a genuine error.
+func RunMonteCarlo(ctx context.Context, cfg MCConfig) (MCResult, error) {
+	res := MCResult{VPP: cfg.VPP, Runs: cfg.Runs}
+	root := rng.New(cfg.Seed).Derive("spice-mc", fmt.Sprintf("%.2f", cfg.VPP))
+	sim := SimulateActivation
+	if cfg.Reference {
+		sim = SimulateActivationReference
+	}
+	idx := make([]int, cfg.Runs)
+	for i := range idx {
+		idx[i] = i
+	}
+	outs, err := pool.Run(ctx, cfg.jobs(), idx, func(ctx context.Context, i int) (mcRun, error) {
+		p := Vary(DefaultCellParams(cfg.VPP), root.Derive("run", i), cfg.Variation)
+		out, err := sim(p, nil)
+		switch {
+		case errors.Is(err, ErrNoConverge):
+			return mcRun{noConverge: true}, nil
+		case err != nil:
+			return mcRun{}, fmt.Errorf("run %d: %w", i, err)
 		}
-		if out.Reliable {
-			res.TRCDminNS = append(res.TRCDminNS, out.TRCDminNS)
-		} else {
-			res.Unreliable++
-		}
-		if out.Restored {
-			res.TRASminNS = append(res.TRASminNS, out.TRASminNS)
-		} else {
-			res.Unrestored++
-		}
+		return mcRun{out: out}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, ro := range outs {
+		res.record(ro.out, ro.noConverge)
 	}
 	return res, nil
 }

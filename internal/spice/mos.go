@@ -69,3 +69,36 @@ func (p MOSParams) eval(vd, vg, vs float64) (id, gm, gds float64) {
 	}
 	return sign * id, gm, gds
 }
+
+// stamp computes the drain current and its partial derivatives with respect
+// to the three terminal voltages, ready for an MNA stamp:
+//
+//	Id ≈ id + gdd*(Vd-vd) + gdg*(Vg-vg) + gds*(Vs-vs)
+//
+// The partials are exact closed forms of the level-1 model (translation
+// invariance holds: gdd+gdg+gds == 0 up to the gmin floor), so the Newton
+// linearization needs one model evaluation per device instead of the four a
+// finite-difference Jacobian costs.
+func (p MOSParams) stamp(vd, vg, vs float64) (id, gdd, gdg, gds float64) {
+	if p.Type == PMOS {
+		// Id = -In(-vd,-vg,-vs): the two mirror signs cancel in every
+		// partial, so the PMOS partials equal the dual NMOS partials at the
+		// mirrored operating point.
+		n := p
+		n.Type = NMOS
+		id, gdd, gdg, gds = n.stamp(-vd, -vg, -vs)
+		return -id, gdd, gdg, gds
+	}
+	if vd >= vs {
+		// Forward operation: eval's gm = dId/dVgs and gds = dId/dVds give
+		// the terminal partials directly.
+		i, gm, gd := p.eval(vd, vg, vs)
+		return i, gd, gm, -(gm + gd)
+	}
+	// Reversed operation: eval swaps drain and source internally and negates
+	// the current, but returns gm/gds of the forward-oriented device, i.e.
+	// Id(vd,vg,vs) = -If(vg-vd, vs-vd). The chain rule maps them back to the
+	// external terminals.
+	i, gm, gd := p.eval(vd, vg, vs)
+	return i, gm + gd, -gm, -gd
+}

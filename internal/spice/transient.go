@@ -4,14 +4,37 @@ import "fmt"
 
 // Transient integrates a circuit through time with fixed-step backward
 // Euler, solving the nonlinear MNA system by Newton-Raphson at each step.
+//
+// Two engines back the same API. The default incremental engine exploits
+// the bordered MNA structure: every grounded voltage source contributes an
+// identity border row that pins its node, so those nodes are eliminated
+// from the system up front and only the remaining unknowns are solved —
+// for the paper's DRAM-cell netlist this halves the system (12 -> 6
+// unknowns, an ~8x smaller LU). Static stamps (resistors, capacitor
+// conductances, the ground leak) are assembled once per simulation, the
+// per-step right-hand side (capacitor companions, source levels) once per
+// step, and each Newton iteration adds only the analytic MOSFET
+// linearization from MOSParams.stamp before factoring the small core with
+// partial-pivot LU in a reused workspace.
+//
+// Circuits the reduction cannot express — a floating voltage source, or a
+// node driven by two sources — fall back to the reference dense engine,
+// which re-stamps the full (nodes + sources) matrix with finite-difference
+// Jacobians on every iteration. The reference engine is also exported
+// through NewTransientReference as the golden cross-check the equivalence
+// tests and benchmarks compare against.
 type Transient struct {
 	ckt *Circuit
 	dt  float64
 	t   float64
 
-	nv   int       // voltage unknowns (nodes minus ground)
-	dim  int       // nv + number of voltage sources
-	v    []float64 // current node voltages, index node-1
+	nv  int       // voltage unknowns (nodes minus ground)
+	dim int       // nv + number of voltage sources
+	v   []float64 // current node voltages, index node-1
+
+	red *reduced // incremental engine; nil when running the dense reference
+
+	// Dense reference workspace.
 	x    []float64 // full solution vector (voltages + source currents)
 	a    []float64 // scratch matrix
 	z    []float64 // scratch RHS
@@ -25,9 +48,29 @@ const (
 	newtonMaxDelta = 0.4 // volts per iteration (damping)
 )
 
+// nodeLeak keeps floating nodes defined during elimination.
+const nodeLeak = 1e-12
+
 // NewTransient prepares a transient analysis with the given time step in
 // seconds. Node initial conditions come from Circuit.SetInitial (default 0).
+// The incremental engine is used whenever the circuit's voltage sources are
+// all grounded and drive distinct nodes; otherwise the dense reference
+// engine runs.
 func NewTransient(c *Circuit, dt float64) *Transient {
+	tr := newTransient(c, dt)
+	tr.red = newReduced(c, tr.nv, dt, tr.v)
+	return tr
+}
+
+// NewTransientReference prepares a transient analysis that always uses the
+// pre-rework dense engine: full-matrix re-stamping and finite-difference
+// MOSFET Jacobians on every Newton iteration. It exists as the golden
+// baseline the incremental engine is validated (and benchmarked) against.
+func NewTransientReference(c *Circuit, dt float64) *Transient {
+	return newTransient(c, dt)
+}
+
+func newTransient(c *Circuit, dt float64) *Transient {
 	nv := c.NumNodes() - 1
 	dim := nv + len(c.sources)
 	tr := &Transient{
@@ -59,13 +102,309 @@ func (tr *Transient) V(node int) float64 {
 	return tr.v[node-1]
 }
 
+// vPrev reads a node voltage at the previous completed step.
+func (tr *Transient) vPrev(node int) float64 {
+	if node == Ground {
+		return 0
+	}
+	return tr.v[node-1]
+}
+
 // Step advances the simulation by one time step.
 func (tr *Transient) Step() error {
+	if tr.red != nil {
+		return tr.stepReduced()
+	}
+	return tr.stepDense()
+}
+
+// Run advances until the given time, invoking probe (if non-nil) after every
+// step.
+func (tr *Transient) Run(until float64, probe func(t float64, v func(node int) float64)) error {
+	for tr.t < until-tr.dt/2 {
+		if err := tr.Step(); err != nil {
+			return err
+		}
+		if probe != nil {
+			probe(tr.t, tr.V)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Incremental engine.
+
+// drivenNode is a node pinned by a grounded voltage source: its voltage is
+// sign*wave.At(t), no unknown needed.
+type drivenNode struct {
+	node int
+	wave Waveform
+	sign float64 // +1 when the source's positive terminal is the node
+}
+
+// gDrivenEntry records a static conductance between an unknown node and a
+// driven node; per step it contributes g*Vdriven(t) to the RHS of row.
+type gDrivenEntry struct {
+	row  int // reduced row receiving the current
+	node int // driven node
+	g    float64
+}
+
+// reduced is the incremental-assembly engine state. Indices into the
+// reduced system cover only undriven, non-ground nodes.
+type reduced struct {
+	ku     int   // unknown (undriven) node count
+	idx    []int // node-1 -> reduced index, or -1 for driven nodes
+	nodes  []int // reduced index -> node id
+	driven []drivenNode
+	isDrv  []bool // node-1 -> pinned by a source
+
+	gStatic []float64 // ku*ku: resistors, capacitor conductances, leak
+	gDriven []gDrivenEntry
+
+	vdrv   []float64 // node-1 -> driven voltage at the end of the step
+	zStep  []float64 // per-step RHS (capacitor companions + driven terms)
+	a      []float64 // Newton workspace: ku*ku matrix
+	z      []float64 // Newton workspace: RHS / solution
+	newt   []float64 // Newton iterate
+	xPrev  []float64 // converged reduced solution of the previous step
+	xPrev2 []float64 // solution two steps back (Newton predictor)
+	steps  int       // completed steps (predictor needs two)
+}
+
+// newReduced builds the incremental engine, or returns nil when the circuit
+// needs the dense fallback (floating source, doubly driven node). v holds
+// the initial node voltages.
+func newReduced(c *Circuit, nv int, dt float64, v []float64) *reduced {
+	r := &reduced{
+		idx:   make([]int, nv),
+		isDrv: make([]bool, nv),
+		vdrv:  make([]float64, nv),
+	}
+	for _, s := range c.sources {
+		var node int
+		var sign float64
+		switch {
+		case s.pos != Ground && s.neg == Ground:
+			node, sign = s.pos, 1
+		case s.pos == Ground && s.neg != Ground:
+			node, sign = s.neg, -1
+		default:
+			return nil // floating source: the border row cannot be eliminated
+		}
+		if node > nv || r.isDrv[node-1] {
+			return nil // doubly driven node: leave conflict handling to the dense path
+		}
+		r.isDrv[node-1] = true
+		r.driven = append(r.driven, drivenNode{node: node, wave: s.wave, sign: sign})
+	}
+	for n := 1; n <= nv; n++ {
+		if r.isDrv[n-1] {
+			r.idx[n-1] = -1
+			continue
+		}
+		r.idx[n-1] = r.ku
+		r.nodes = append(r.nodes, n)
+		r.ku++
+	}
+
+	ku := r.ku
+	r.gStatic = make([]float64, ku*ku)
+	r.zStep = make([]float64, ku)
+	r.a = make([]float64, ku*ku)
+	r.z = make([]float64, ku)
+	r.newt = make([]float64, ku)
+	r.xPrev = make([]float64, ku)
+	r.xPrev2 = make([]float64, ku)
+	for i, n := range r.nodes {
+		r.xPrev[i] = v[n-1]
+	}
+
+	// Static pass: every stamp that never changes across steps.
+	for i := 0; i < ku; i++ {
+		r.gStatic[i*ku+i] += nodeLeak
+	}
+	for _, res := range c.resistors {
+		r.stampStatic(res.a, res.b, 1/res.ohms)
+	}
+	// Capacitor backward-Euler companions: the conductance C/dt is static
+	// for a fixed step; only the history current moves to the per-step RHS.
+	for _, cap := range c.caps {
+		r.stampStatic(cap.a, cap.b, cap.farads/dt)
+	}
+	return r
+}
+
+// stampStatic adds conductance g between nodes a and b into the static
+// system, routing terms that touch a driven node to the per-step RHS list.
+func (r *reduced) stampStatic(a, b int, g float64) {
+	ra, rb := r.reducedOf(a), r.reducedOf(b)
+	if ra >= 0 {
+		r.gStatic[ra*r.ku+ra] += g
+	}
+	if rb >= 0 {
+		r.gStatic[rb*r.ku+rb] += g
+	}
+	switch {
+	case ra >= 0 && rb >= 0:
+		r.gStatic[ra*r.ku+rb] -= g
+		r.gStatic[rb*r.ku+ra] -= g
+	case ra >= 0 && r.drivenNode(b):
+		r.gDriven = append(r.gDriven, gDrivenEntry{ra, b, g})
+	case rb >= 0 && r.drivenNode(a):
+		r.gDriven = append(r.gDriven, gDrivenEntry{rb, a, g})
+	}
+}
+
+// reducedOf maps a node id to its reduced index; ground and driven nodes
+// return -1.
+func (r *reduced) reducedOf(node int) int {
+	if node == Ground {
+		return -1
+	}
+	return r.idx[node-1]
+}
+
+// drivenNode reports whether the node is pinned by a grounded source.
+func (r *reduced) drivenNode(node int) bool {
+	return node != Ground && r.isDrv[node-1]
+}
+
+// vIter reads a node voltage at the current Newton iterate.
+func (r *reduced) vIter(node int) float64 {
+	if node == Ground {
+		return 0
+	}
+	if r.isDrv[node-1] {
+		return r.vdrv[node-1]
+	}
+	return r.newt[r.idx[node-1]]
+}
+
+// stampMOSAnalytic adds one MOSFET's analytic linearization to the Newton
+// system: only the handful of entries the device touches change per
+// iteration.
+func (r *reduced) stampMOSAnalytic(m mosfet) {
+	vd, vg, vs := r.vIter(m.d), r.vIter(m.g), r.vIter(m.s)
+	id, gdd, gdg, gds := m.params.stamp(vd, vg, vs)
+	ieq := id - gdd*vd - gdg*vg - gds*vs
+
+	ku := r.ku
+	add := func(row, term int, coeff float64) {
+		if rt := r.reducedOf(term); rt >= 0 {
+			r.a[row*ku+rt] += coeff
+		} else if r.drivenNode(term) {
+			r.z[row] -= coeff * r.vdrv[term-1]
+		}
+	}
+	if rd := r.reducedOf(m.d); rd >= 0 {
+		add(rd, m.d, gdd)
+		add(rd, m.g, gdg)
+		add(rd, m.s, gds)
+		r.z[rd] -= ieq
+	}
+	if rs := r.reducedOf(m.s); rs >= 0 {
+		add(rs, m.d, -gdd)
+		add(rs, m.g, -gdg)
+		add(rs, m.s, -gds)
+		r.z[rs] += ieq
+	}
+}
+
+// stepReduced advances one backward-Euler step on the incremental engine.
+func (tr *Transient) stepReduced() error {
+	r := tr.red
+	tNext := tr.t + tr.dt
+
+	// Per-step pass: source levels and capacitor history currents are fixed
+	// for the whole Newton loop.
+	for _, d := range r.driven {
+		r.vdrv[d.node-1] = d.sign * d.wave.At(tNext)
+	}
+	for i := range r.zStep {
+		r.zStep[i] = 0
+	}
+	for _, e := range r.gDriven {
+		r.zStep[e.row] += e.g * r.vdrv[e.node-1]
+	}
+	for _, c := range tr.ckt.caps {
+		geq := c.farads / tr.dt
+		ieq := geq * (tr.vPrev(c.a) - tr.vPrev(c.b))
+		if ra := r.reducedOf(c.a); ra >= 0 {
+			r.zStep[ra] += ieq
+		}
+		if rb := r.reducedOf(c.b); rb >= 0 {
+			r.zStep[rb] -= ieq
+		}
+	}
+
+	// Newton initial guess: linear extrapolation of the last two converged
+	// solutions (fixed step, so the slope needs no scaling). The predictor
+	// only changes where the iteration starts, not the fixed point it
+	// converges to, and typically saves an iteration on smooth ramps.
+	if r.steps >= 2 {
+		for i := range r.newt {
+			r.newt[i] = 2*r.xPrev[i] - r.xPrev2[i]
+		}
+	} else {
+		copy(r.newt, r.xPrev)
+	}
+	for iter := 0; iter < newtonMaxIters; iter++ {
+		copy(r.a, r.gStatic)
+		copy(r.z, r.zStep)
+		for _, m := range tr.ckt.mosfets {
+			r.stampMOSAnalytic(m)
+		}
+		if err := solveDense(r.a, r.z, r.ku); err != nil {
+			return fmt.Errorf("t=%.3gs: %w", tNext, err)
+		}
+		// tr.red.z now holds the solution.
+		maxDelta := 0.0
+		for i := 0; i < r.ku; i++ {
+			d := r.z[i] - r.newt[i]
+			if abs(d) > maxDelta {
+				maxDelta = abs(d)
+			}
+			// Damp to keep the latch transition stable (every reduced
+			// unknown is a node voltage).
+			if abs(d) > newtonMaxDelta {
+				if d > 0 {
+					d = newtonMaxDelta
+				} else {
+					d = -newtonMaxDelta
+				}
+			}
+			r.newt[i] += d
+		}
+		if maxDelta < newtonTol {
+			r.xPrev, r.xPrev2 = r.xPrev2, r.xPrev
+			copy(r.xPrev, r.newt)
+			r.steps++
+			for i, n := range r.nodes {
+				tr.v[n-1] = r.newt[i]
+			}
+			for _, d := range r.driven {
+				tr.v[d.node-1] = r.vdrv[d.node-1]
+			}
+			tr.t = tNext
+			return nil
+		}
+	}
+	return fmt.Errorf("t=%.3gs: %w", tNext, ErrNoConverge)
+}
+
+// ---------------------------------------------------------------------------
+// Dense reference engine (pre-rework behavior, kept as the golden baseline).
+
+// stepDense advances one step by re-stamping and solving the full MNA
+// system on every Newton iteration.
+func (tr *Transient) stepDense() error {
 	tNext := tr.t + tr.dt
 	copy(tr.newt, tr.x) // Newton initial guess: previous solution
 
 	for iter := 0; iter < newtonMaxIters; iter++ {
-		tr.assemble(tNext)
+		tr.assembleDense(tNext)
 		if err := solveDense(tr.a, tr.z, tr.dim); err != nil {
 			return fmt.Errorf("t=%.3gs: %w", tNext, err)
 		}
@@ -96,23 +435,9 @@ func (tr *Transient) Step() error {
 	return fmt.Errorf("t=%.3gs: %w", tNext, ErrNoConverge)
 }
 
-// Run advances until the given time, invoking probe (if non-nil) after every
-// step.
-func (tr *Transient) Run(until float64, probe func(t float64, v func(node int) float64)) error {
-	for tr.t < until-tr.dt/2 {
-		if err := tr.Step(); err != nil {
-			return err
-		}
-		if probe != nil {
-			probe(tr.t, tr.V)
-		}
-	}
-	return nil
-}
-
-// assemble builds the MNA system linearized around the current Newton
-// iterate for the backward-Euler step ending at time t.
-func (tr *Transient) assemble(t float64) {
+// assembleDense builds the full MNA system linearized around the current
+// Newton iterate for the backward-Euler step ending at time t.
+func (tr *Transient) assembleDense(t float64) {
 	for i := range tr.a {
 		tr.a[i] = 0
 	}
@@ -144,16 +469,10 @@ func (tr *Transient) assemble(t float64) {
 		}
 		return tr.newt[node-1]
 	}
-	vPrev := func(node int) float64 {
-		if node == Ground {
-			return 0
-		}
-		return tr.v[node-1]
-	}
 
 	// Small leak from every node to ground keeps floating nodes defined.
 	for n := 1; n <= tr.nv; n++ {
-		tr.a[(n-1)*dim+(n-1)] += 1e-12
+		tr.a[(n-1)*dim+(n-1)] += nodeLeak
 	}
 
 	for _, r := range tr.ckt.resistors {
@@ -162,7 +481,7 @@ func (tr *Transient) assemble(t float64) {
 	for _, c := range tr.ckt.caps {
 		geq := c.farads / tr.dt
 		stampG(c.a, c.b, geq)
-		ieq := geq * (vPrev(c.a) - vPrev(c.b))
+		ieq := geq * (tr.vPrev(c.a) - tr.vPrev(c.b))
 		inject(c.a, ieq)
 		inject(c.b, -ieq)
 	}
@@ -179,13 +498,13 @@ func (tr *Transient) assemble(t float64) {
 		tr.z[row] = src.wave.At(t)
 	}
 	for _, m := range tr.ckt.mosfets {
-		tr.stampMOS(m, vAt, stampG, inject)
+		tr.stampMOSFD(m, vAt, stampG, inject)
 	}
 }
 
-// stampMOS linearizes one MOSFET around the Newton iterate using a
-// finite-difference Jacobian (robust to the internal drain/source swap).
-func (tr *Transient) stampMOS(m mosfet, vAt func(int) float64,
+// stampMOSFD linearizes one MOSFET around the Newton iterate using a
+// finite-difference Jacobian (the reference engine's historical behavior).
+func (tr *Transient) stampMOSFD(m mosfet, vAt func(int) float64,
 	stampG func(a, b int, g float64), inject func(node int, amps float64)) {
 
 	vd, vg, vs := vAt(m.d), vAt(m.g), vAt(m.s)

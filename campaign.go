@@ -128,6 +128,14 @@ func (c *cell[T]) get(fn func() (T, error)) (T, error) {
 // again. Module sweeps inside each study run Options.Jobs modules at a time
 // and merge in catalog order, so output is byte-identical at any worker
 // count.
+//
+// Study aggregation is streaming: distribution columns render from
+// internal/stats accumulators that fold each measurement as it is produced
+// (the SPICE Monte-Carlo levels additionally share one global run queue), so
+// a session's memory is bounded by the catalog, the measurement grids, and
+// the configured row selection — never by SpiceMCRuns. Scaling Options
+// toward the paper's 10K-runs-per-level (and beyond) grows campaign time,
+// not campaign memory.
 type Campaign struct {
 	opts Options
 

@@ -40,6 +40,15 @@ type Snapshot struct {
 	MCJobs                int     `json:"mc_jobs"`
 	MCSpeedupJobs1        float64 `json:"mc_speedup_jobs1_vs_reference"`
 	MCSpeedupJobs         float64 `json:"mc_speedup_jobs_vs_reference"`
+
+	// Full Fig. 8b/9b-style aggregate: one global run queue across a VPP
+	// sweep, streaming aggregation, per-worker workspace reuse. BytesPerRun
+	// is total heap allocation divided by runs — the streaming-statistics
+	// memory-bound metric (pre-streaming, aggregation bytes grew with every
+	// retained sample; now the bytes are simulation transients only).
+	MCAggRunsPerSec  float64 `json:"mc_agg_runs_per_sec"`
+	MCAggLevels      int     `json:"mc_agg_levels"`
+	MCAggBytesPerRun float64 `json:"mc_agg_bytes_per_run"`
 }
 
 func main() {
@@ -109,7 +118,40 @@ func measure(runs, jobs int) (Snapshot, error) {
 	snap.MCRunsPerSecJobs = many
 	snap.MCSpeedupJobs1 = ratio(one, ref)
 	snap.MCSpeedupJobs = ratio(many, ref)
+
+	aggRate, aggBytes, levels, err := mcAggregate(runs, jobs)
+	if err != nil {
+		return snap, err
+	}
+	snap.MCAggRunsPerSec = aggRate
+	snap.MCAggBytesPerRun = aggBytes
+	snap.MCAggLevels = levels
 	return snap, nil
+}
+
+// mcAggregate measures the streaming aggregation pipeline end to end: a
+// multi-level sweep through the single global run queue, reporting runs/s
+// and heap bytes allocated per run.
+func mcAggregate(runs, jobs int) (runsPerSec, bytesPerRun float64, levels int, err error) {
+	vpps := []float64{2.5, 2.1, 1.9, 1.7}
+	cfg := spice.MCConfig{Runs: runs, Seed: 2022, Variation: 0.05, Jobs: jobs}
+	ctx := context.Background()
+	warm := cfg
+	warm.Runs = 2
+	if _, err := spice.RunMonteCarloSweep(ctx, vpps, warm); err != nil {
+		return 0, 0, 0, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if _, err := spice.RunMonteCarloSweep(ctx, vpps, cfg); err != nil {
+		return 0, 0, 0, err
+	}
+	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	total := float64(len(vpps) * runs)
+	return total / elapsed, float64(after.TotalAlloc-before.TotalAlloc) / total, len(vpps), nil
 }
 
 // stepCost times activations until ~100ms has elapsed and returns ns/step.

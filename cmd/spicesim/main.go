@@ -12,8 +12,8 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/dramstudy/rhvpp/internal/report"
 	"github.com/dramstudy/rhvpp/internal/spice"
-	"github.com/dramstudy/rhvpp/internal/stats"
 )
 
 func main() {
@@ -48,12 +48,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("VPP = %.2fV, %d runs, ±%.0f%% variation\n", *vpp, res.Runs, *varPct)
-	fmt.Printf("reliable activations: %.1f%% (%d unreliable)\n", res.ReliableFraction()*100, res.Unreliable)
-	if s, err := stats.Summarize(res.TRCDminNS); err == nil {
-		fmt.Printf("tRCDmin ns: mean %.2f  P95 %.2f  worst %.2f\n", s.Mean, s.P95, s.Max)
+	fmt.Printf("reliable activations: %.1f%% (%d unreliable, %d unrestored, %d no-converge)\n",
+		res.ReliableFraction()*100, res.Unreliable, res.Unrestored, res.NoConverge)
+	t := report.NewSummaryTable("latency distributions (ns), from the streaming campaign accumulators")
+	if s, err := res.TRCDmin.Summary(); err == nil {
+		t.AddSummary("tRCDmin", s)
 	}
-	if s, err := stats.Summarize(res.TRASminNS); err == nil {
-		fmt.Printf("tRASmin ns: mean %.2f  P95 %.2f  worst %.2f (%d unrestored)\n",
-			s.Mean, s.P95, s.Max, res.Unrestored)
+	if s, err := res.TRASmin.Summary(); err == nil {
+		t.AddSummary("tRASmin", s)
+	}
+	if len(t.Rows) > 0 {
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "spicesim:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,148 @@
+package rhvpp
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test -run TestGoldenCampaignOutput -update .
+//
+// The committed goldens were captured before the streaming-statistics
+// refactor, so they pin the aggregation pipeline's output byte-for-byte
+// across the batch-to-streaming migration.
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenOptions is a scoped campaign exercising every merge path the
+// streaming refactor touches: two modules per manufacturer (so per-module
+// accumulators merge in catalog order), a tRCD-failing module (A0), a
+// retention-failing module (B6), and a Monte-Carlo sweep large enough to
+// populate the Fig. 8b/9b distribution columns.
+func goldenOptions() Options {
+	o := DefaultOptions()
+	o.Geometry = Geometry{Banks: 1, RowsPerBank: 4096, RowBytes: 512, SubarrayRows: 512}
+	cfg := QuickConfig()
+	cfg.MinHCStep = 4000
+	o.Config = cfg
+	o.Chunks = 2
+	o.RowsPerChunk = 3
+	o.VPPStride = 4
+	o.SpiceMCRuns = 24
+	o.RetentionVPPLevels = []float64{2.5, 1.9, 1.5}
+	o.ModuleNames = []string{"A0", "A3", "B0", "B3", "B6", "C0"}
+	return o
+}
+
+// renderAll renders every experiment id through one Campaign, like
+// `rhvpp -exp all`, into a single buffer.
+func renderAll(t *testing.T, o Options, format Format) []byte {
+	t.Helper()
+	c, err := NewCampaign(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, e := range Experiments() {
+		buf.WriteString("== " + e.ID + " ==\n")
+		enc, err := NewEncoder(format, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(t.Context(), e.ID, enc); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenCampaignOutput pins the full `-exp all` rendering in every
+// encoder format to the committed goldens: the streaming-statistics pipeline
+// must not change a byte of what the campaign reports, and a parallel run
+// (jobs=8, which also drives the global Monte-Carlo run queue with many
+// workers) must match the serial rendering exactly.
+func TestGoldenCampaignOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign render in -short mode")
+	}
+	exts := map[Format]string{FormatText: "txt", FormatJSON: "json", FormatCSV: "csv"}
+	for _, format := range []Format{FormatText, FormatJSON, FormatCSV} {
+		format := format
+		t.Run(string(format), func(t *testing.T) {
+			o := goldenOptions()
+			o.Jobs = 1
+			got := renderAll(t, o, format)
+
+			path := filepath.Join("testdata", "golden", "all."+exts[format])
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run `go test -run TestGoldenCampaignOutput -update .`): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s output diverged from the pre-refactor golden %s (len %d vs %d)\n%s",
+					format, path, len(got), len(want), firstDiff(got, want))
+			}
+
+			op := goldenOptions()
+			op.Jobs = 8
+			if parallel := renderAll(t, op, format); !bytes.Equal(parallel, got) {
+				t.Errorf("%s output differs between jobs=1 and jobs=8\n%s",
+					format, firstDiff(parallel, got))
+			}
+		})
+	}
+}
+
+// firstDiff locates the first byte where two renderings diverge and quotes
+// the surrounding lines, so a golden failure points at the offending table.
+func firstDiff(got, want []byte) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	i := 0
+	for i < n && got[i] == want[i] {
+		i++
+	}
+	lo := i - 120
+	if lo < 0 {
+		lo = 0
+	}
+	clip := func(b []byte) string {
+		hi := i + 120
+		if hi > len(b) {
+			hi = len(b)
+		}
+		if lo >= len(b) {
+			return ""
+		}
+		return string(b[lo:hi])
+	}
+	return "first divergence at byte " + itoa(i) + ":\n--- got ---\n" + clip(got) + "\n--- want ---\n" + clip(want)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

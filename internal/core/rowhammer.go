@@ -7,6 +7,7 @@ import (
 	"github.com/dramstudy/rhvpp/internal/mapping"
 	"github.com/dramstudy/rhvpp/internal/pattern"
 	"github.com/dramstudy/rhvpp/internal/softmc"
+	"github.com/dramstudy/rhvpp/internal/stats"
 )
 
 // Tester runs the characterization algorithms against one module through
@@ -114,21 +115,44 @@ func (t *Tester) MeasureBER(victim int, pat pattern.Kind, hc int) (float64, erro
 	return float64(flips) / float64(len(data)*8), nil
 }
 
-// MeasureBERSeries repeats MeasureBER n times and returns every per-
-// iteration value (used for the §4.6 coefficient-of-variation analysis).
-func (t *Tester) MeasureBERSeries(victim int, pat pattern.Kind, hc, n int) ([]float64, error) {
-	out := make([]float64, 0, n)
+// measureBEREach repeats MeasureBER n times, handing each per-iteration
+// value to f as it is measured — the one iteration/interrupt/error loop
+// behind both the raw-series and the streaming-summary forms.
+func (t *Tester) measureBEREach(victim int, pat pattern.Kind, hc, n int, f func(float64)) error {
 	for i := 0; i < n; i++ {
 		if err := t.interrupted(); err != nil {
-			return nil, err
+			return err
 		}
 		ber, err := t.MeasureBER(victim, pat, hc)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		f(ber)
+	}
+	return nil
+}
+
+// MeasureBERSeries repeats MeasureBER n times and returns every per-
+// iteration value. Callers that only need summary statistics should use
+// MeasureBERStats, which does not retain the samples.
+func (t *Tester) MeasureBERSeries(victim int, pat pattern.Kind, hc, n int) ([]float64, error) {
+	out := make([]float64, 0, n)
+	if err := t.measureBEREach(victim, pat, hc, n, func(ber float64) {
 		out = append(out, ber)
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// MeasureBERStats repeats MeasureBER n times and folds every per-iteration
+// value into a streaming distribution as it is measured — the §4.6
+// coefficient-of-variation consumer's form of MeasureBERSeries, with no
+// per-iteration sample retention.
+func (t *Tester) MeasureBERStats(victim int, pat pattern.Kind, hc, n int) (stats.Dist, error) {
+	var d stats.Dist
+	err := t.measureBEREach(victim, pat, hc, n, d.Add)
+	return d, err
 }
 
 // measureBERMax returns the maximum BER across iterations (the worst case

@@ -344,7 +344,7 @@ func TestCVStudyPercentiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(st.CVs) == 0 {
+	if st.CVs.N() == 0 {
 		t.Fatal("no CV series measured")
 	}
 	// CV percentiles should be small and ordered (paper: 0.08/0.13/0.24).
@@ -582,7 +582,7 @@ func TestTempInteraction(t *testing.T) {
 				ti.Temps[tiIdx], ti.HCFirst[tiIdx][1], ti.HCFirst[tiIdx][0])
 		}
 	}
-	if len(ti.RowTempSpread) == 0 {
+	if ti.RowTempSpread.N() == 0 {
 		t.Error("no per-row temperature responses collected")
 	}
 	var buf bytes.Buffer

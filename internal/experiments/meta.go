@@ -30,14 +30,24 @@ func Table1(enc report.Encoder) error {
 	for k := range groups {
 		keys = append(keys, k)
 	}
+	// The comparator must be total: the keys come out of a map, and two
+	// groups tie on (mfr, density, rev), so anything short of a full key
+	// comparison made the row order depend on map iteration order.
 	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].mfr != keys[j].mfr {
-			return keys[i].mfr < keys[j].mfr
+		a, b := keys[i], keys[j]
+		if a.mfr != b.mfr {
+			return a.mfr < b.mfr
 		}
-		if keys[i].density != keys[j].density {
-			return keys[i].density < keys[j].density
+		if a.density != b.density {
+			return a.density < b.density
 		}
-		return keys[i].rev < keys[j].rev
+		if a.rev != b.rev {
+			return a.rev < b.rev
+		}
+		if a.org != b.org {
+			return a.org < b.org
+		}
+		return a.date < b.date
 	})
 	t := &report.Table{
 		Title:   fmt.Sprintf("Table 1: summary of the tested DDR4 DRAM chips (%d chips total)", physics.TotalChips()),
@@ -54,9 +64,11 @@ func Table1(enc report.Encoder) error {
 // CVStudy is the §4.6 statistical-significance analysis: the coefficient of
 // variation across repeated measurements.
 type CVStudy struct {
-	// CVs holds one coefficient of variation per (module, row, VPP)
-	// measurement series.
-	CVs []float64
+	// CVs summarizes the coefficient-of-variation population, one sample
+	// per (module, row, VPP) measurement series, as a streaming exact
+	// distribution: the percentiles below are bit-identical to sorting the
+	// raw population, without retaining it.
+	CVs stats.Dist
 	P90 float64
 	P95 float64
 	P99 float64
@@ -65,14 +77,14 @@ type CVStudy struct {
 // RunCVStudy measures BER ten times per row on a sample of modules and
 // voltages and summarizes the CV distribution (paper: 0.08 / 0.13 / 0.24 at
 // the 90th / 95th / 99th percentiles). Modules run through the worker pool;
-// their series concatenate in catalog order.
+// their populations merge in catalog order.
 func RunCVStudy(ctx context.Context, o Options) (CVStudy, error) {
 	profs, err := o.profiles()
 	if err != nil {
 		return CVStudy{}, err
 	}
 	perModule, err := runPool(ctx, o.jobs(), profs,
-		func(ctx context.Context, prof physics.ModuleProfile) ([]float64, error) {
+		func(ctx context.Context, prof physics.ModuleProfile) (stats.Dist, error) {
 			return runModuleCV(ctx, o, prof)
 		})
 	if err != nil {
@@ -80,43 +92,48 @@ func RunCVStudy(ctx context.Context, o Options) (CVStudy, error) {
 	}
 	var st CVStudy
 	for _, cvs := range perModule {
-		st.CVs = append(st.CVs, cvs...)
+		st.CVs.Merge(cvs)
 	}
-	if len(st.CVs) > 0 {
-		st.P90, _ = stats.Percentile(st.CVs, 90)
-		st.P95, _ = stats.Percentile(st.CVs, 95)
-		st.P99, _ = stats.Percentile(st.CVs, 99)
+	if st.CVs.N() > 0 {
+		st.P90, _ = st.CVs.Percentile(90)
+		st.P95, _ = st.CVs.Percentile(95)
+		st.P99, _ = st.CVs.Percentile(99)
 	}
 	return st, nil
 }
 
-// runModuleCV collects one module's CV series at nominal VPP and VPPmin.
-func runModuleCV(ctx context.Context, o Options, prof physics.ModuleProfile) ([]float64, error) {
+// runModuleCV folds one module's CV population at nominal VPP and VPPmin
+// into a streaming distribution, summarizing each series as it is measured.
+func runModuleCV(ctx context.Context, o Options, prof physics.ModuleProfile) (stats.Dist, error) {
 	tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
 	tester := core.NewTester(tb.Controller, o.Config).WithContext(ctx)
 	rows := selectVictims(tester, o)
 	if len(rows) > 6 {
 		rows = rows[:6]
 	}
-	var cvs []float64
+	var cvs stats.Dist
 	for _, vpp := range []float64{physics.VPPNominal, prof.VPPMin} {
 		if err := tb.SetVPP(vpp); err != nil {
-			return nil, err
+			return cvs, err
 		}
 		for _, row := range rows {
-			series, err := tester.MeasureBERSeries(row, pattern.RowStripeFF, o.Config.RefHC, 10)
+			series, err := tester.MeasureBERStats(row, pattern.RowStripeFF, o.Config.RefHC, 10)
 			if err != nil {
-				return nil, err
+				return cvs, err
 			}
 			// Require a handful of flipped bits per measurement: series
 			// dominated by 1-2 flips measure integer-count discreteness,
 			// not methodology noise (the paper's BERs involve thousands
 			// of bits per row).
 			minBER := 5.0 / float64(o.Geometry.RowBits())
-			if stats.Mean(series) < minBER {
+			if series.Mean() < minBER {
 				continue
 			}
-			cvs = append(cvs, stats.CV(series))
+			cv, err := series.CV()
+			if err != nil {
+				continue // degenerate series (zero mean): no meaningful CV
+			}
+			cvs.Add(cv)
 		}
 	}
 	return cvs, nil
@@ -131,6 +148,6 @@ func (st CVStudy) Render(enc report.Encoder) error {
 	t.Add("P90", fmt.Sprintf("%.3f", st.P90), "0.08")
 	t.Add("P95", fmt.Sprintf("%.3f", st.P95), "0.13")
 	t.Add("P99", fmt.Sprintf("%.3f", st.P99), "0.24")
-	t.Add("series measured", len(st.CVs), "-")
+	t.Add("series measured", st.CVs.N(), "-")
 	return enc.Table(t)
 }

@@ -9,6 +9,17 @@
 // selected modules with a bounded worker pool (Options.Jobs). Per-module
 // testbeds are fully independent and deterministically seeded, and results
 // are merged in catalog order, so output is identical at any worker count.
+//
+// Aggregation is streaming end to end: per-row and per-run measurements fold
+// into internal/stats accumulators (exact means, extremes, quantiles,
+// fractions) as they are produced, and per-module partials merge in catalog
+// order — never by concatenating retained sample slices. For grid-quantized
+// series (SPICE latencies on the integration grid, k/N bit error rates) the
+// exact-quantile state is bounded by the grid regardless of scale; for the
+// continuous ratio populations (normalized HC/BER, CVs) it is bounded by
+// the number of distinct samples — the configured row selection — with
+// stats.P2Summary available as the strictly-O(1) estimator if those
+// populations ever outgrow that.
 package experiments
 
 import (

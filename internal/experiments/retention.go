@@ -22,18 +22,21 @@ type RetentionStudy struct {
 	// MeanBER[mfr][vppIdx][winIdx] is the mean BER across the rows of that
 	// manufacturer's modules (only modules whose VPPmin allows the level).
 	MeanBER map[physics.Manufacturer][][]float64
-	// RowBERAt4s[mfr][vppIdx] holds the per-row BER values at tREFW = 4s
-	// (the Fig. 10b populations).
-	RowBERAt4s map[physics.Manufacturer][][]float64
+	// RowBERAt4s[mfr][vppIdx] summarizes the per-row BER population at
+	// tREFW = 4s (the Fig. 10b populations) as a streaming accumulator:
+	// rows fold in as they are measured instead of being retained.
+	RowBERAt4s map[physics.Manufacturer][]stats.Moments
 }
 
 // moduleRetention is one module's contribution, measured independently so
-// modules can run concurrently and merge in catalog order.
+// modules can run concurrently and merge in catalog order. All aggregates
+// are streaming: memory per module is O(levels x windows), independent of
+// the number of tested rows.
 type moduleRetention struct {
 	mfr   physics.Manufacturer
-	sum   [][]float64 // [vpp][window] BER sum across rows
-	count [][]int     // [vpp][window] row count
-	rows  [][]float64 // [vpp] per-row BER at tREFW = 4s
+	sum   [][]float64     // [vpp][window] BER sum across rows
+	count [][]int         // [vpp][window] row count
+	rows  []stats.Moments // [vpp] per-row BER population at tREFW = 4s
 }
 
 // RunRetentionStudy sweeps retention behavior per module at 80C.
@@ -42,7 +45,7 @@ func RunRetentionStudy(ctx context.Context, o Options) (RetentionStudy, error) {
 		WindowsMS:  o.Config.RetentionWindowsMS,
 		VPP:        o.RetentionVPPLevels,
 		MeanBER:    make(map[physics.Manufacturer][][]float64),
-		RowBERAt4s: make(map[physics.Manufacturer][][]float64),
+		RowBERAt4s: make(map[physics.Manufacturer][]stats.Moments),
 	}
 	idx4s := -1
 	for i, w := range st.WindowsMS {
@@ -67,13 +70,13 @@ func RunRetentionStudy(ctx context.Context, o Options) (RetentionStudy, error) {
 		a := moduleRetention{mfr: mfr}
 		a.sum = make([][]float64, len(st.VPP))
 		a.count = make([][]int, len(st.VPP))
-		a.rows = make([][]float64, len(st.VPP))
+		a.rows = make([]stats.Moments, len(st.VPP))
 		for i := range a.sum {
 			a.sum[i] = make([]float64, len(st.WindowsMS))
 			a.count[i] = make([]int, len(st.WindowsMS))
 		}
-		// Merge in catalog order so Fig. 10b's row populations are
-		// ordered identically at any worker count.
+		// Merge in catalog order so Fig. 10b's row populations accumulate
+		// identically at any worker count.
 		for _, m := range perModule {
 			if m.mfr != mfr {
 				continue
@@ -83,7 +86,7 @@ func RunRetentionStudy(ctx context.Context, o Options) (RetentionStudy, error) {
 					a.sum[vi][wi] += m.sum[vi][wi]
 					a.count[vi][wi] += m.count[vi][wi]
 				}
-				a.rows[vi] = append(a.rows[vi], m.rows[vi]...)
+				a.rows[vi].Merge(m.rows[vi])
 			}
 		}
 		mean := make([][]float64, len(st.VPP))
@@ -107,7 +110,7 @@ func runModuleRetention(ctx context.Context, o Options, prof physics.ModuleProfi
 	m := moduleRetention{mfr: prof.Mfr}
 	m.sum = make([][]float64, len(vppLevels))
 	m.count = make([][]int, len(vppLevels))
-	m.rows = make([][]float64, len(vppLevels))
+	m.rows = make([]stats.Moments, len(vppLevels))
 	for i := range m.sum {
 		m.sum[i] = make([]float64, len(windows))
 		m.count[i] = make([]int, len(windows))
@@ -136,7 +139,7 @@ func runModuleRetention(ctx context.Context, o Options, prof physics.ModuleProfi
 				m.count[vi][wi]++
 			}
 			if idx4s >= 0 {
-				m.rows[vi] = append(m.rows[vi], res.Points[idx4s].BER)
+				m.rows[vi].Add(res.Points[idx4s].BER)
 			}
 		}
 	}
@@ -188,8 +191,8 @@ func (st RetentionStudy) RenderFig10b(enc report.Encoder) error {
 		row := []any{fmt.Sprintf("%.1f", vpp)}
 		for _, mfr := range []physics.Manufacturer{physics.MfrA, physics.MfrB, physics.MfrC} {
 			rows := st.RowBERAt4s[mfr]
-			if vi < len(rows) && len(rows[vi]) > 0 {
-				row = append(row, fmt.Sprintf("%.3f%%", stats.Mean(rows[vi])*100))
+			if vi < len(rows) && rows[vi].N() > 0 {
+				row = append(row, fmt.Sprintf("%.3f%%", rows[vi].Mean()*100))
 			} else {
 				row = append(row, "-")
 			}

@@ -34,10 +34,12 @@ type ModuleSweep struct {
 	Rows    []int
 	WCDP    map[int]pattern.Kind
 	Points  []VPPPoint // descending VPP; Points[0] is nominal
-	// RowNormHCAtMin / RowNormBERAtMin are the per-row normalized values at
-	// VPPmin (the populations of Figs. 4 and 6).
-	RowNormHCAtMin  []float64
-	RowNormBERAtMin []float64
+	// RowNormHCAtMin / RowNormBERAtMin summarize the per-row normalized
+	// values at VPPmin (the populations of Figs. 4 and 6) as streaming
+	// exact distributions: histograms, extremes, and fractions derived from
+	// them are bit-identical to retaining the raw per-row values.
+	RowNormHCAtMin  stats.Dist
+	RowNormBERAtMin stats.Dist
 }
 
 // PointAt returns the sweep point measured at the given voltage.
@@ -96,7 +98,8 @@ func RunModuleSweep(ctx context.Context, o Options, prof physics.ModuleProfile) 
 			return sweep, err
 		}
 		pt := VPPPoint{VPP: vpp}
-		var hcs, bers []float64
+		var hcMin stats.MinMax
+		var berMean stats.Moments
 		for _, row := range sweep.Rows {
 			res, err := tester.CharacterizeRow(row, sweep.WCDP[row])
 			if err != nil {
@@ -105,31 +108,31 @@ func RunModuleSweep(ctx context.Context, o Options, prof physics.ModuleProfile) 
 			s := series[row]
 			s.hc = append(s.hc, float64(res.HCFirst))
 			s.ber = append(s.ber, res.BER)
-			hcs = append(hcs, float64(res.HCFirst))
-			bers = append(bers, res.BER)
+			hcMin.Add(float64(res.HCFirst))
+			berMean.Add(res.BER)
 		}
-		min, _ := stats.Min(hcs)
-		pt.ModuleHCFirst = min
-		pt.ModuleBER = stats.Mean(bers)
+		pt.ModuleHCFirst, _ = hcMin.Min()
+		pt.ModuleBER = berMean.Mean()
 		sweep.Points = append(sweep.Points, pt)
 	}
 
-	// Normalized per-row series relative to the nominal level.
+	// Normalized per-row populations relative to the nominal level, folded
+	// into streaming distributions as they are derived.
 	for li := range levels {
-		var normHC, normBER []float64
+		var normHC, normBER stats.Dist
 		for _, row := range sweep.Rows {
 			s := series[row]
 			if s.hc[0] > 0 {
-				normHC = append(normHC, s.hc[li]/s.hc[0])
+				normHC.Add(s.hc[li] / s.hc[0])
 			}
 			if s.ber[0] > 0 {
-				normBER = append(normBER, s.ber[li]/s.ber[0])
+				normBER.Add(s.ber[li] / s.ber[0])
 			}
 		}
-		if ci, err := stats.CI(normHC, 0.90); err == nil {
+		if ci, err := normHC.CI(0.90); err == nil {
 			sweep.Points[li].NormHC = ci
 		}
-		if ci, err := stats.CI(normBER, 0.90); err == nil {
+		if ci, err := normBER.CI(0.90); err == nil {
 			sweep.Points[li].NormBER = ci
 		}
 		if li == len(levels)-1 {
@@ -204,28 +207,28 @@ func (st RowHammerStudy) renderNormPanels(enc report.Encoder, title string, pick
 }
 
 // PopulationHistogram bins the per-row normalized values at VPPmin for one
-// manufacturer (Figs. 4 and 6).
+// manufacturer (Figs. 4 and 6) from the streamed per-module distributions,
+// merged in catalog order — identical to binning the raw values.
 func (st RowHammerStudy) PopulationHistogram(mfr physics.Manufacturer, hcFirst bool, bins int) (stats.Histogram, error) {
-	var xs []float64
+	var d stats.Dist
 	for _, sw := range st.Sweeps {
 		if sw.Profile.Mfr != mfr {
 			continue
 		}
 		if hcFirst {
-			xs = append(xs, sw.RowNormHCAtMin...)
+			d.Merge(sw.RowNormHCAtMin)
 		} else {
-			xs = append(xs, sw.RowNormBERAtMin...)
+			d.Merge(sw.RowNormBERAtMin)
 		}
 	}
-	lo, err := stats.Min(xs)
+	lo, hi, err := d.Counts.Range()
 	if err != nil {
 		return stats.Histogram{}, err
 	}
-	hi, _ := stats.Max(xs)
 	if hi <= lo {
 		hi = lo + 0.01
 	}
-	return stats.NewHistogram(xs, lo, hi, bins)
+	return d.Histogram(lo, hi, bins)
 }
 
 // RenderFig4 and RenderFig6 emit the population distributions.
@@ -302,27 +305,26 @@ type Aggregates struct {
 }
 
 // Section5Aggregates computes the row-level aggregates at VPPmin across all
-// swept modules.
+// swept modules by merging the per-module streamed populations in catalog
+// order.
 func (st RowHammerStudy) Section5Aggregates() Aggregates {
-	var normHC, normBER []float64
+	var normHC, normBER stats.Dist
 	for _, sw := range st.Sweeps {
-		normHC = append(normHC, sw.RowNormHCAtMin...)
-		normBER = append(normBER, sw.RowNormBERAtMin...)
+		normHC.Merge(sw.RowNormHCAtMin)
+		normBER.Merge(sw.RowNormBERAtMin)
 	}
 	var a Aggregates
-	if len(normHC) == 0 {
+	if normHC.N() == 0 {
 		return a
 	}
-	maxHC, _ := stats.Max(normHC)
-	minBER, _ := stats.Min(normBER)
-	a.MeanHCIncreasePct = (stats.Mean(normHC) - 1) * 100
-	a.MaxHCIncreasePct = (maxHC - 1) * 100
-	a.MeanBERChangePct = (stats.Mean(normBER) - 1) * 100
-	a.MaxBERDropPct = (1 - minBER) * 100
-	a.FracRowsHCUp = stats.FractionAbove(normHC, 1)
-	a.FracRowsHCDown = stats.FractionBelow(normHC, 1)
-	a.FracRowsBERDown = stats.FractionBelow(normBER, 1)
-	a.FracRowsBERUp = stats.FractionAbove(normBER, 1)
+	a.MeanHCIncreasePct = (normHC.Mean() - 1) * 100
+	a.MaxHCIncreasePct = (normHC.Max() - 1) * 100
+	a.MeanBERChangePct = (normBER.Mean() - 1) * 100
+	a.MaxBERDropPct = (1 - normBER.Min()) * 100
+	a.FracRowsHCUp = normHC.FractionAbove(1)
+	a.FracRowsHCDown = normHC.FractionBelow(1)
+	a.FracRowsBERDown = normBER.FractionBelow(1)
+	a.FracRowsBERUp = normBER.FractionAbove(1)
 	return a
 }
 

@@ -6,7 +6,6 @@ import (
 
 	"github.com/dramstudy/rhvpp/internal/report"
 	"github.com/dramstudy/rhvpp/internal/spice"
-	"github.com/dramstudy/rhvpp/internal/stats"
 )
 
 // spiceSweepVPPs are the voltage levels of the paper's SPICE study
@@ -99,39 +98,36 @@ type MCStudy struct {
 	Results []spice.MCResult
 }
 
-// RunMCStudy executes the Monte-Carlo sweep (runs per level from Options).
-// Levels run in paper order while each level's runs spread across the
-// worker pool (Options.Jobs) — per-level campaigns dominate the cost, and
-// spreading runs instead of levels keeps every worker busy even when a
-// low-VPP level converges slowly. Every run draws from its own
-// index-derived generator, so results are byte-identical at any worker
-// count.
+// RunMCStudy executes the Monte-Carlo sweep (runs per level from Options)
+// over a single global run queue: all levels' runs feed one worker pool
+// (Options.Jobs), so workers stay busy across level boundaries even when a
+// slowly-converging low-VPP level would otherwise drain a per-level pool.
+// Every run draws from its own index-derived generator and folds into the
+// per-level streaming accumulators in (level, run) order, so results are
+// byte-identical at any worker count while aggregation memory stays
+// independent of the run count.
 func RunMCStudy(ctx context.Context, o Options) (MCStudy, error) {
-	var st MCStudy
-	for _, vpp := range spiceSweepVPPs {
-		r, err := spice.RunMonteCarlo(ctx, spice.MCConfig{
-			VPP:       vpp,
-			Runs:      o.SpiceMCRuns,
-			Seed:      o.Seed,
-			Variation: 0.05,
-			Jobs:      o.jobs(),
-		})
-		if err != nil {
-			return MCStudy{}, fmt.Errorf("Monte Carlo at %.1fV: %w", vpp, err)
-		}
-		st.Results = append(st.Results, r)
+	results, err := spice.RunMonteCarloSweep(ctx, spiceSweepVPPs, spice.MCConfig{
+		Runs:      o.SpiceMCRuns,
+		Seed:      o.Seed,
+		Variation: 0.05,
+		Jobs:      o.jobs(),
+	})
+	if err != nil {
+		return MCStudy{}, fmt.Errorf("Monte Carlo sweep: %w", err)
 	}
-	return st, nil
+	return MCStudy{Results: results}, nil
 }
 
-// RenderFig8b emits the tRCDmin distribution per VPP level.
+// RenderFig8b emits the tRCDmin distribution per VPP level, straight from
+// the per-level streaming summaries.
 func (st MCStudy) RenderFig8b(enc report.Encoder) error {
 	t := &report.Table{
 		Title:   "Fig. 8b: minimum reliable activation latency distribution (Monte Carlo)",
 		Headers: []string{"VPP", "mean tRCDmin (ns)", "P95", "worst", "reliable runs", "no-converge"},
 	}
 	for _, r := range st.Results {
-		p95, _ := stats.Percentile(r.TRCDminNS, 95)
+		p95, _ := r.TRCDmin.Percentile(95)
 		t.Add(fmt.Sprintf("%.1f", r.VPP), fmt.Sprintf("%.2f", r.MeanTRCDminNS()),
 			fmt.Sprintf("%.2f", p95), fmt.Sprintf("%.2f", r.WorstTRCDminNS()),
 			fmt.Sprintf("%.1f%%", r.ReliableFraction()*100),
@@ -147,20 +143,10 @@ func (st MCStudy) RenderFig9b(enc report.Encoder) error {
 		Headers: []string{"VPP", "mean tRASmin (ns)", "P95", "worst", "restored runs", "no-converge"},
 	}
 	for _, r := range st.Results {
-		mean, worst := 0.0, 0.0
-		for _, v := range r.TRASminNS {
-			mean += v
-			if v > worst {
-				worst = v
-			}
-		}
-		if len(r.TRASminNS) > 0 {
-			mean /= float64(len(r.TRASminNS))
-		}
-		p95, _ := stats.Percentile(r.TRASminNS, 95)
-		restored := float64(len(r.TRASminNS)) / float64(r.Runs) * 100
-		t.Add(fmt.Sprintf("%.1f", r.VPP), fmt.Sprintf("%.2f", mean),
-			fmt.Sprintf("%.2f", p95), fmt.Sprintf("%.2f", worst),
+		p95, _ := r.TRASmin.Percentile(95)
+		restored := float64(r.TRASmin.N()) / float64(r.Runs) * 100
+		t.Add(fmt.Sprintf("%.1f", r.VPP), fmt.Sprintf("%.2f", r.TRASmin.Mean()),
+			fmt.Sprintf("%.2f", p95), fmt.Sprintf("%.2f", r.TRASmin.Max()),
 			fmt.Sprintf("%.1f%%", restored),
 			fmt.Sprintf("%d", r.NoConverge))
 	}

@@ -22,10 +22,10 @@ type TempInteraction struct {
 	// HCFirst[t][v] and BER[t][v] are module-level values per grid cell.
 	HCFirst [][]float64
 	BER     [][]float64
-	// RowTempSpread is the per-row normalized HCfirst at the hottest
-	// temperature relative to 50C (at nominal VPP): the row-level
-	// temperature response population.
-	RowTempSpread []float64
+	// RowTempSpread summarizes the per-row normalized HCfirst at the
+	// hottest temperature relative to 50C (at nominal VPP) — the row-level
+	// temperature response population — as a streaming distribution.
+	RowTempSpread stats.Dist
 }
 
 // RunTempInteraction measures the VPP x temperature grid on one module.
@@ -53,25 +53,30 @@ func RunTempInteraction(ctx context.Context, o Options, moduleName string, temps
 		if err := tb.SetTemperature(temp); err != nil {
 			return ti, err
 		}
-		var hcRow, berRow []float64
+		var hcRow []float64
 		var gridHC, gridBER []float64
 		for _, vpp := range ti.VPPs {
 			if err := tb.SetVPP(vpp); err != nil {
 				return ti, err
 			}
-			hcRow, berRow = hcRow[:0], berRow[:0]
+			hcRow = hcRow[:0]
+			var hcMin stats.MinMax
+			var berMean stats.Moments
 			for _, row := range rows {
 				res, err := tester.CharacterizeRow(row, 0)
 				if err != nil {
 					return ti, err
 				}
 				hcRow = append(hcRow, float64(res.HCFirst))
-				berRow = append(berRow, res.BER)
+				hcMin.Add(float64(res.HCFirst))
+				berMean.Add(res.BER)
 			}
-			min, _ := stats.Min(hcRow)
+			min, _ := hcMin.Min()
 			gridHC = append(gridHC, min)
-			gridBER = append(gridBER, stats.Mean(berRow))
-			if vpp == physics.VPPNominal {
+			gridBER = append(gridBER, berMean.Mean())
+			// Only the endpoint temperatures are ever paired for the
+			// spread population; intermediate grid rows need no copy.
+			if vpp == physics.VPPNominal && (temp == temps[0] || temp == temps[len(temps)-1]) {
 				rowHCAt[temp] = append([]float64(nil), hcRow...)
 			}
 		}
@@ -79,11 +84,14 @@ func RunTempInteraction(ctx context.Context, o Options, moduleName string, temps
 		ti.BER = append(ti.BER, gridBER)
 	}
 
+	// The pairing of per-row HCfirst across the two endpoint temperatures is
+	// the only place raw values are needed; the ratio population itself
+	// streams into the distribution.
 	base := rowHCAt[temps[0]]
 	hot := rowHCAt[temps[len(temps)-1]]
 	for i := range base {
 		if i < len(hot) && base[i] > 0 {
-			ti.RowTempSpread = append(ti.RowTempSpread, hot[i]/base[i])
+			ti.RowTempSpread.Add(hot[i] / base[i])
 		}
 	}
 	return ti, nil
@@ -104,13 +112,10 @@ func (ti TempInteraction) Render(enc report.Encoder) error {
 	if err := enc.Table(t); err != nil {
 		return err
 	}
-	if len(ti.RowTempSpread) > 0 {
-		s, err := stats.Summarize(ti.RowTempSpread)
-		if err != nil {
-			return err
-		}
+	if ti.RowTempSpread.N() > 0 {
 		if err := enc.Note("per-row HCfirst at %.0fC normalized to %.0fC (nominal VPP): mean %.3f, min %.3f, max %.3f",
-			ti.Temps[len(ti.Temps)-1], ti.Temps[0], s.Mean, s.Min, s.Max); err != nil {
+			ti.Temps[len(ti.Temps)-1], ti.Temps[0],
+			ti.RowTempSpread.Mean(), ti.RowTempSpread.Min(), ti.RowTempSpread.Max()); err != nil {
 			return err
 		}
 		return enc.Note("(temperature moves individual rows in both directions, like VPP does)")

@@ -203,11 +203,12 @@ type GuardbandSummary struct {
 	AllFixesVerified bool
 }
 
-// Summary computes the §6.1 aggregates.
+// Summary computes the §6.1 aggregates, streaming the passing modules'
+// guardband reductions instead of collecting them.
 func (st TRCDStudy) Summary() GuardbandSummary {
 	var s GuardbandSummary
 	s.AllFixesVerified = true
-	var reductions []float64
+	var reductions stats.Moments
 	for _, sw := range st.Sweeps {
 		if sw.ExceedsNominal() {
 			s.FailingModules++
@@ -217,10 +218,10 @@ func (st TRCDStudy) Summary() GuardbandSummary {
 			}
 		} else {
 			s.PassingModules++
-			reductions = append(reductions, sw.GuardbandReduction())
+			reductions.Add(sw.GuardbandReduction())
 		}
 	}
-	s.MeanGuardbandReduction = stats.Mean(reductions)
+	s.MeanGuardbandReduction = reductions.Mean()
 	return s
 }
 

@@ -88,3 +88,120 @@ feed:
 	}
 	return out, nil
 }
+
+// RunOrdered maps fn over the indices [0, n) with at most jobs concurrent
+// workers and delivers each result to consume in STRICT INDEX ORDER on the
+// calling goroutine. Unlike Run, it never materializes the result set: at
+// most 2*jobs results are in flight at once (a bounded reorder window), so
+// aggregation memory is independent of n — the property the streaming
+// statistics pipeline's O(1)-per-estimator bound rests on, while index-order
+// delivery keeps the floating-point fold order (and hence the output bytes)
+// identical at any worker count.
+//
+// The first fn or consume error — always the lowest-index one, because
+// consumption is in order — cancels the remaining work and is returned;
+// the caller's cancellation takes precedence. With jobs <= 1 the pool
+// degenerates to a plain serial loop on the calling goroutine.
+func RunOrdered[Out any](ctx context.Context, jobs, n int,
+	fn func(ctx context.Context, i int) (Out, error),
+	consume func(i int, out Out) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			out, err := fn(ctx, i)
+			if err != nil {
+				return err
+			}
+			if err := consume(i, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type slot struct {
+		out Out
+		err error
+	}
+	// The reorder window: the feeder acquires a token per issued index and
+	// the consumer releases one per consumed index, so at most `window`
+	// indices are outstanding. That guarantees at most one outstanding index
+	// per ring residue — each ring channel (capacity 1) is a private
+	// rendezvous for exactly one pending index — and bounds memory at
+	// O(jobs) results regardless of worker skew.
+	window := 2 * jobs
+	ring := make([]chan slot, window)
+	for i := range ring {
+		ring[i] = make(chan slot, 1)
+	}
+	tokens := make(chan struct{}, window)
+	next := make(chan int)
+
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out, err := fn(ctx, i)
+				select {
+				case ring[i%window] <- slot{out, err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(next)
+		for i := 0; i < n; i++ {
+			select {
+			case tokens <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var firstErr error
+consumeLoop:
+	for i := 0; i < n; i++ {
+		select {
+		case s := <-ring[i%window]:
+			if s.err != nil {
+				firstErr = s.err
+				break consumeLoop
+			}
+			if err := consume(i, s.out); err != nil {
+				firstErr = err
+				break consumeLoop
+			}
+			<-tokens
+		case <-ctx.Done():
+			break consumeLoop
+		}
+	}
+	cancel()
+	wg.Wait()
+	if err := parent.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}

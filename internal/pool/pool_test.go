@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunPreservesOrder(t *testing.T) {
@@ -68,5 +70,117 @@ func TestRunEmptyAndSerial(t *testing.T) {
 		func(_ context.Context, i int) (int, error) { return i + 1, nil })
 	if err != nil || !reflect.DeepEqual(serial, []int{6, 7}) {
 		t.Fatalf("serial run: %v, %v", serial, err)
+	}
+}
+
+func TestRunOrderedDeliversInOrder(t *testing.T) {
+	for _, jobs := range []int{1, 3, 8, 64} {
+		var got []int
+		err := RunOrdered(context.Background(), jobs, 50,
+			func(_ context.Context, i int) (int, error) {
+				if i%7 == 0 {
+					time.Sleep(time.Millisecond) // skew workers
+				}
+				return i * i, nil
+			},
+			func(i, out int) error {
+				got = append(got, out)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("jobs=%d: consumed %d results", jobs, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("jobs=%d: out-of-order delivery at %d: %d", jobs, i, v)
+			}
+		}
+	}
+}
+
+// TestRunOrderedBoundsInFlight asserts the reorder window: outstanding
+// (produced but unconsumed) results never exceed 2*jobs + jobs, even with a
+// deliberately slow consumer — the memory bound the streaming aggregation
+// relies on.
+func TestRunOrderedBoundsInFlight(t *testing.T) {
+	const jobs = 4
+	var produced, consumed atomic.Int32
+	var worst int32
+	err := RunOrdered(context.Background(), jobs, 200,
+		func(_ context.Context, i int) (int, error) {
+			produced.Add(1)
+			return i, nil
+		},
+		func(i, out int) error {
+			if i < 5 {
+				time.Sleep(2 * time.Millisecond) // hold the window open
+			}
+			if d := produced.Load() - consumed.Load(); d > worst {
+				worst = d
+			}
+			consumed.Add(1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limit := int32(3*jobs + 1); worst > limit {
+		t.Errorf("in-flight results peaked at %d, want <= %d", worst, limit)
+	}
+}
+
+func TestRunOrderedReportsLowestIndexFailure(t *testing.T) {
+	boom := errors.New("boom")
+	var consumedMax int
+	err := RunOrdered(context.Background(), 4, 32,
+		func(_ context.Context, i int) (int, error) {
+			if i >= 9 {
+				return 0, fmt.Errorf("item %d: %w", i, boom)
+			}
+			return i, nil
+		},
+		func(i, out int) error {
+			consumedMax = i
+			return nil
+		})
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "item 9") {
+		t.Fatalf("err = %v, want item 9 boom (the lowest failing index)", err)
+	}
+	if consumedMax != 8 {
+		t.Errorf("consumed through %d, want 8", consumedMax)
+	}
+}
+
+func TestRunOrderedConsumeErrorStopsWork(t *testing.T) {
+	boom := errors.New("fold failed")
+	err := RunOrdered(context.Background(), 4, 100,
+		func(_ context.Context, i int) (int, error) { return i, nil },
+		func(i, out int) error {
+			if i == 10 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want fold error", err)
+	}
+}
+
+func TestRunOrderedHonorsCallerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := RunOrdered(ctx, 4, 10,
+		func(_ context.Context, i int) (int, error) { return i, nil },
+		func(i, out int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err := RunOrdered(context.Background(), 4, 0,
+		func(_ context.Context, i int) (int, error) { return i, nil },
+		func(i, out int) error { return nil }); err != nil {
+		t.Fatalf("empty ordered run: %v", err)
 	}
 }

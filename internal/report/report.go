@@ -10,6 +10,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"github.com/dramstudy/rhvpp/internal/stats"
 )
 
 // Table is a titled grid of string cells.
@@ -87,6 +89,26 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// SummaryHeaders are the distribution columns AddSummary emits, in order.
+// Renderers that report a measured distribution attach these instead of
+// hand-rolling per-figure column sets, so every distribution the campaign
+// emits reads the same way — and is produced from a streaming Summary, never
+// from a retained sample slice.
+var SummaryHeaders = []string{"series", "n", "mean", "stddev", "cv", "min", "P50", "P90", "P95", "P99", "max"}
+
+// NewSummaryTable returns a table with the standard distribution columns.
+func NewSummaryTable(title string) *Table {
+	return &Table{Title: title, Headers: SummaryHeaders}
+}
+
+// AddSummary appends one distribution row rendered from a stats.Summary.
+func (t *Table) AddSummary(name string, s stats.Summary) {
+	t.Add(name, s.N,
+		fmt.Sprintf("%.4g", s.Mean), fmt.Sprintf("%.3g", s.StdDev), fmt.Sprintf("%.3g", s.CV),
+		fmt.Sprintf("%.4g", s.Min), fmt.Sprintf("%.4g", s.P50), fmt.Sprintf("%.4g", s.P90),
+		fmt.Sprintf("%.4g", s.P95), fmt.Sprintf("%.4g", s.P99), fmt.Sprintf("%.4g", s.Max))
 }
 
 // Series is one named line of (x, y) points for a line plot.

@@ -111,74 +111,118 @@ func SimulateActivationReference(p CellParams, probe Probe) (ActivationResult, e
 	return simulateActivation(p, probe, NewTransientReference)
 }
 
-func simulateActivation(p CellParams, probe Probe, newEngine func(*Circuit, float64) *Transient) (ActivationResult, error) {
-	if p.VDD <= 0 || p.VPP <= 0 || p.StepPS <= 0 {
-		return ActivationResult{}, errors.New("spice: invalid cell parameters")
-	}
-	ckt := NewCircuit()
-	wl := ckt.Node("wl")
-	cellC := ckt.Node("cellc") // storage capacitor plate
-	cellN := ckt.Node("celln") // transistor side of the cell series R
-	blc := ckt.Node("blc")     // bitline, cell end
-	bls := ckt.Node("bls")     // bitline, sense end
-	blbc := ckt.Node("blbc")   // reference bitline, far end
-	blbs := ckt.Node("blbs")   // reference bitline, sense end
-	san := ckt.Node("san")
-	sap := ckt.Node("sap")
+// cellNodes names the netlist's node ids, shared by the one-shot simulation
+// path and the reusable Workspace.
+type cellNodes struct {
+	wl, cellC, cellN, blc, bls, blbc, blbs, san, sap int
+}
 
-	ckt.C(cellC, Ground, p.CellC)
-	ckt.R(cellC, cellN, p.CellR)
-	ckt.MOS(blc, wl, cellN, p.Access)
+// cellWaves holds the mutable source waveforms of the netlist. They are
+// installed as *PWL so a Workspace can re-stamp the VPP level and rail
+// timings in place without rebuilding the circuit.
+type cellWaves struct {
+	wl, san, sap *PWL
+}
+
+// buildCellCircuit assembles the Table 2 netlist. Element order is fixed —
+// the Workspace re-stamp path relies on it to update values by index.
+func buildCellCircuit(p CellParams) (*Circuit, cellNodes, cellWaves) {
+	ckt := NewCircuit()
+	var n cellNodes
+	n.wl = ckt.Node("wl")
+	n.cellC = ckt.Node("cellc") // storage capacitor plate
+	n.cellN = ckt.Node("celln") // transistor side of the cell series R
+	n.blc = ckt.Node("blc")     // bitline, cell end
+	n.bls = ckt.Node("bls")     // bitline, sense end
+	n.blbc = ckt.Node("blbc")   // reference bitline, far end
+	n.blbs = ckt.Node("blbs")   // reference bitline, sense end
+	n.san = ckt.Node("san")
+	n.sap = ckt.Node("sap")
+
+	ckt.C(n.cellC, Ground, p.CellC)
+	ckt.R(n.cellC, n.cellN, p.CellR)
+	ckt.MOS(n.blc, n.wl, n.cellN, p.Access)
 
 	half := p.BLC / 2
-	ckt.C(blc, Ground, half)
-	ckt.R(blc, bls, p.BLR)
-	ckt.C(bls, Ground, half)
-	ckt.C(blbc, Ground, half)
-	ckt.R(blbc, blbs, p.BLR)
-	ckt.C(blbs, Ground, half)
+	ckt.C(n.blc, Ground, half)
+	ckt.R(n.blc, n.bls, p.BLR)
+	ckt.C(n.bls, Ground, half)
+	ckt.C(n.blbc, Ground, half)
+	ckt.R(n.blbc, n.blbs, p.BLR)
+	ckt.C(n.blbs, Ground, half)
 
-	ckt.MOS(bls, blbs, san, p.SAN1)
-	ckt.MOS(blbs, bls, san, p.SAN2)
-	ckt.MOS(bls, blbs, sap, p.SAP1)
-	ckt.MOS(blbs, bls, sap, p.SAP2)
+	ckt.MOS(n.bls, n.blbs, n.san, p.SAN1)
+	ckt.MOS(n.blbs, n.bls, n.san, p.SAN2)
+	ckt.MOS(n.bls, n.blbs, n.sap, p.SAP1)
+	ckt.MOS(n.blbs, n.bls, n.sap, p.SAP2)
+
+	w := cellWaves{
+		wl:  &PWL{Times: make([]float64, 2), Values: make([]float64, 2)},
+		san: &PWL{Times: make([]float64, 3), Values: make([]float64, 3)},
+		sap: &PWL{Times: make([]float64, 3), Values: make([]float64, 3)},
+	}
+	ckt.V(n.wl, Ground, w.wl)
+	ckt.V(n.san, Ground, w.san)
+	ckt.V(n.sap, Ground, w.sap)
+	stampCellValues(ckt, n, w, p)
+	return ckt, n, w
+}
+
+// stampCellValues writes the parameter-dependent element values, source
+// waveforms, and initial conditions of the netlist into an already-built
+// circuit. It runs both at construction and on Workspace reuse, so both
+// paths see exactly the same values.
+func stampCellValues(ckt *Circuit, n cellNodes, w cellWaves, p CellParams) {
+	// Element order matches buildCellCircuit.
+	ckt.caps[0].farads = p.CellC
+	half := p.BLC / 2
+	for _, i := range []int{1, 2, 3, 4} {
+		ckt.caps[i].farads = half
+	}
+	ckt.resistors[0].ohms = p.CellR
+	ckt.resistors[1].ohms = p.BLR
+	ckt.resistors[2].ohms = p.BLR
+	ckt.mosfets[0].params = p.Access
+	ckt.mosfets[1].params = p.SAN1
+	ckt.mosfets[2].params = p.SAN2
+	ckt.mosfets[3].params = p.SAP1
+	ckt.mosfets[4].params = p.SAP2
 
 	ns := 1e-9
 	vpre := p.VDD / 2
-	ckt.V(wl, Ground, PWL{
-		Times:  []float64{0, p.WLRampNS * ns},
-		Values: []float64{0, p.VPP},
-	})
-	ckt.V(san, Ground, PWL{
-		Times:  []float64{0, p.SenseEnableNS * ns, (p.SenseEnableNS + p.SenseRampNS) * ns},
-		Values: []float64{vpre, vpre, 0},
-	})
-	ckt.V(sap, Ground, PWL{
-		Times:  []float64{0, p.SenseEnableNS * ns, (p.SenseEnableNS + p.SenseRampNS) * ns},
-		Values: []float64{vpre, vpre, p.VDD},
-	})
+	w.wl.Times[0], w.wl.Times[1] = 0, p.WLRampNS*ns
+	w.wl.Values[0], w.wl.Values[1] = 0, p.VPP
+	w.san.Times[0], w.san.Times[1], w.san.Times[2] = 0, p.SenseEnableNS*ns, (p.SenseEnableNS+p.SenseRampNS)*ns
+	w.san.Values[0], w.san.Values[1], w.san.Values[2] = vpre, vpre, 0
+	w.sap.Times[0], w.sap.Times[1], w.sap.Times[2] = 0, p.SenseEnableNS*ns, (p.SenseEnableNS+p.SenseRampNS)*ns
+	w.sap.Values[0], w.sap.Values[1], w.sap.Values[2] = vpre, vpre, p.VDD
 
 	// Initial conditions: bitlines precharged, cell holding a '1' at the
 	// saturation level its access transistor allowed during the previous
 	// restoration (this is the §6.1/§6.2 coupling: reduced VPP stores less
 	// charge, shrinking the sensing perturbation).
 	vcell0 := p.SaturationV()
-	for _, n := range []int{blc, bls, blbc, blbs} {
-		ckt.SetInitial(n, vpre)
+	for _, node := range []int{n.blc, n.bls, n.blbc, n.blbs} {
+		ckt.SetInitial(node, vpre)
 	}
-	ckt.SetInitial(cellC, vcell0)
-	ckt.SetInitial(cellN, vcell0)
-	ckt.SetInitial(san, vpre)
-	ckt.SetInitial(sap, vpre)
+	ckt.SetInitial(n.cellC, vcell0)
+	ckt.SetInitial(n.cellN, vcell0)
+	ckt.SetInitial(n.san, vpre)
+	ckt.SetInitial(n.sap, vpre)
+}
 
-	tr := newEngine(ckt, p.StepPS*1e-12)
-
+// measureActivation steps the prepared engine through the activation and
+// extracts the tRCDmin / tRASmin measurements. Both the one-shot paths and
+// the reusable Workspace run exactly this loop.
+func measureActivation(tr *Transient, n cellNodes, p CellParams, probe Probe) (ActivationResult, error) {
 	var res ActivationResult
+	ns := 1e-9
 	vth := p.VTHFrac * p.VDD
 	// Restoration completes when the cell recovers to the target fraction of
 	// VDD, bounded by the saturation level the access transistor permits
 	// (approached asymptotically, hence the 50 mV tail allowance).
-	target := math.Min(p.RestoreFrac*p.VDD, p.SaturationV()-0.05)
+	vcell0 := p.SaturationV()
+	target := math.Min(p.RestoreFrac*p.VDD, vcell0-0.05)
 	minCell := vcell0
 	dipped := false
 
@@ -187,8 +231,8 @@ func simulateActivation(p CellParams, probe Probe, newEngine func(*Circuit, floa
 			return res, err
 		}
 		tNS := tr.Time() / ns
-		vbl := tr.V(bls)
-		vcell := tr.V(cellC)
+		vbl := tr.V(n.bls)
+		vcell := tr.V(n.cellC)
 		if probe != nil {
 			probe(tNS, vbl, vcell)
 		}
@@ -212,4 +256,21 @@ func simulateActivation(p CellParams, probe Probe, newEngine func(*Circuit, floa
 		}
 	}
 	return res, nil
+}
+
+func simulateActivation(p CellParams, probe Probe, newEngine func(*Circuit, float64) *Transient) (ActivationResult, error) {
+	if err := p.validate(); err != nil {
+		return ActivationResult{}, err
+	}
+	ckt, nodes, _ := buildCellCircuit(p)
+	tr := newEngine(ckt, p.StepPS*1e-12)
+	return measureActivation(tr, nodes, p, probe)
+}
+
+// validate rejects parameter sets the engine cannot integrate.
+func (p CellParams) validate() error {
+	if p.VDD <= 0 || p.VPP <= 0 || p.StepPS <= 0 {
+		return errors.New("spice: invalid cell parameters")
+	}
+	return nil
 }

@@ -203,8 +203,11 @@ func TestMCResultRecordsNoConverge(t *testing.T) {
 	if r.Unreliable != 1 || r.Unrestored != 2 {
 		t.Errorf("Unreliable=%d Unrestored=%d, want 1 and 2", r.Unreliable, r.Unrestored)
 	}
-	if len(r.TRCDminNS) != 2 || len(r.TRASminNS) != 1 {
-		t.Errorf("samples = %d/%d, want 2/1", len(r.TRCDminNS), len(r.TRASminNS))
+	if r.TRCDmin.N() != 2 || r.TRASmin.N() != 1 {
+		t.Errorf("samples = %d/%d, want 2/1", r.TRCDmin.N(), r.TRASmin.N())
+	}
+	if r.Reliable() != 2 || r.Restored() != 1 {
+		t.Errorf("Reliable/Restored = %d/%d, want 2/1", r.Reliable(), r.Restored())
 	}
 }
 

@@ -5,18 +5,26 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"github.com/dramstudy/rhvpp/internal/pool"
 	"github.com/dramstudy/rhvpp/internal/rng"
+	"github.com/dramstudy/rhvpp/internal/stats"
 )
 
-// MCResult aggregates a Monte-Carlo campaign at one VPP level.
+// MCResult aggregates a Monte-Carlo campaign at one VPP level. The
+// distributions are streaming accumulators, not sample slices: each run
+// folds into them as it completes, so campaign memory is independent of the
+// run count (the measurements land on the fixed integration-step grid, so
+// the exact-quantile multiset is bounded by the grid, not by Runs).
 type MCResult struct {
 	VPP float64
-	// TRCDminNS and TRASminNS hold the per-run measurements of runs whose
-	// activation completed reliably.
-	TRCDminNS []float64
-	TRASminNS []float64
+	// TRCDmin and TRASmin summarize the per-run measurements of runs whose
+	// activation completed reliably / whose restoration completed: mean,
+	// extremes, and exact percentiles of the tRCDmin / tRASmin populations
+	// of Figs. 8b and 9b.
+	TRCDmin stats.Dist
+	TRASmin stats.Dist
 	// Unreliable counts runs whose bitline never crossed the read
 	// threshold (e.g. the sense amplifier latched the wrong way under
 	// mismatch at very low VPP).
@@ -42,47 +50,36 @@ func (r *MCResult) record(out ActivationResult, noConverge bool) {
 		return
 	}
 	if out.Reliable {
-		r.TRCDminNS = append(r.TRCDminNS, out.TRCDminNS)
+		r.TRCDmin.Add(out.TRCDminNS)
 	} else {
 		r.Unreliable++
 	}
 	if out.Restored {
-		r.TRASminNS = append(r.TRASminNS, out.TRASminNS)
+		r.TRASmin.Add(out.TRASminNS)
 	} else {
 		r.Unrestored++
 	}
 }
 
+// Reliable returns the number of runs with a reliable activation.
+func (r MCResult) Reliable() int { return r.TRCDmin.N() }
+
+// Restored returns the number of runs whose restoration completed.
+func (r MCResult) Restored() int { return r.TRASmin.N() }
+
 // WorstTRCDminNS returns the largest observed reliable tRCDmin (the
 // worst-case line of Fig. 8b), or 0 when no run was reliable.
-func (r MCResult) WorstTRCDminNS() float64 {
-	worst := 0.0
-	for _, v := range r.TRCDminNS {
-		if v > worst {
-			worst = v
-		}
-	}
-	return worst
-}
+func (r MCResult) WorstTRCDminNS() float64 { return r.TRCDmin.Max() }
 
 // MeanTRCDminNS returns the mean reliable tRCDmin, or 0 when none.
-func (r MCResult) MeanTRCDminNS() float64 {
-	if len(r.TRCDminNS) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, v := range r.TRCDminNS {
-		sum += v
-	}
-	return sum / float64(len(r.TRCDminNS))
-}
+func (r MCResult) MeanTRCDminNS() float64 { return r.TRCDmin.Mean() }
 
 // ReliableFraction is the fraction of runs with a reliable activation.
 func (r MCResult) ReliableFraction() float64 {
 	if r.Runs == 0 {
 		return 0
 	}
-	return float64(len(r.TRCDminNS)) / float64(r.Runs)
+	return float64(r.TRCDmin.N()) / float64(r.Runs)
 }
 
 // Vary applies a uniform relative variation of up to ±frac to the
@@ -107,11 +104,12 @@ func Vary(p CellParams, s *rng.Stream, frac float64) CellParams {
 	return p
 }
 
-// MCConfig parameterizes a Monte-Carlo campaign at one VPP level.
+// MCConfig parameterizes a Monte-Carlo campaign at one VPP level (or, via
+// RunMonteCarloSweep, the same campaign repeated across a VPP sweep).
 type MCConfig struct {
 	// VPP is the wordline voltage under test.
 	VPP float64
-	// Runs is the campaign size (the paper runs 10K per level).
+	// Runs is the campaign size per VPP level (the paper runs 10K).
 	Runs int
 	// Seed selects the sampled device population.
 	Seed uint64
@@ -119,8 +117,8 @@ type MCConfig struct {
 	Variation float64
 	// Jobs bounds how many runs simulate concurrently (0 = one worker per
 	// CPU). Every run draws from its own index-derived RNG stream and runs
-	// aggregate in index order, so the result is byte-identical at any
-	// worker count.
+	// fold into the aggregates in index order through a bounded reorder
+	// window, so the result is byte-identical at any worker count.
 	Jobs int
 	// Reference routes every run through the dense finite-difference
 	// reference engine instead of the incremental solver. It exists for the
@@ -145,45 +143,87 @@ func MonteCarlo(vpp float64, runs int, seed uint64, variation float64) (MCResult
 	})
 }
 
-// mcRun is one sample's outcome, kept per-index so aggregation order never
-// depends on worker scheduling.
+// mcRun is one sample's outcome, delivered to the aggregation fold in index
+// order so the result never depends on worker scheduling.
 type mcRun struct {
 	out        ActivationResult
 	noConverge bool
 }
 
-// RunMonteCarlo executes the Monte-Carlo campaign described by cfg across a
-// bounded worker pool. Runs that fail to converge are recorded in
-// MCResult.NoConverge (and counted unreliable/unrestored) rather than
-// aborting the campaign; any other simulation failure — e.g. a singular
-// system from degenerate parameters — is a genuine error.
+// RunMonteCarlo executes the Monte-Carlo campaign described by cfg at one
+// VPP level. It is the single-level form of RunMonteCarloSweep and shares
+// its worker pool, workspace reuse, and streaming aggregation.
 func RunMonteCarlo(ctx context.Context, cfg MCConfig) (MCResult, error) {
-	res := MCResult{VPP: cfg.VPP, Runs: cfg.Runs}
-	root := rng.New(cfg.Seed).Derive("spice-mc", fmt.Sprintf("%.2f", cfg.VPP))
-	sim := SimulateActivation
-	if cfg.Reference {
-		sim = SimulateActivationReference
-	}
-	idx := make([]int, cfg.Runs)
-	for i := range idx {
-		idx[i] = i
-	}
-	outs, err := pool.Run(ctx, cfg.jobs(), idx, func(ctx context.Context, i int) (mcRun, error) {
-		p := Vary(DefaultCellParams(cfg.VPP), root.Derive("run", i), cfg.Variation)
-		out, err := sim(p, nil)
-		switch {
-		case errors.Is(err, ErrNoConverge):
-			return mcRun{noConverge: true}, nil
-		case err != nil:
-			return mcRun{}, fmt.Errorf("run %d: %w", i, err)
-		}
-		return mcRun{out: out}, nil
-	})
+	results, err := RunMonteCarloSweep(ctx, []float64{cfg.VPP}, cfg)
 	if err != nil {
-		return res, err
+		return MCResult{VPP: cfg.VPP, Runs: cfg.Runs}, err
 	}
-	for _, ro := range outs {
-		res.record(ro.out, ro.noConverge)
+	return results[0], nil
+}
+
+// RunMonteCarloSweep executes one Monte-Carlo campaign of cfg.Runs runs per
+// entry of vpps (cfg.VPP is ignored) over a SINGLE global run queue: all
+// levels' runs feed one bounded worker pool, so workers stay busy across
+// level boundaries even when a slowly-converging low-VPP level would
+// otherwise drain a per-level pool. Each worker reuses one simulation
+// Workspace across runs (parameters are re-stamped instead of rebuilding the
+// netlist and solver).
+//
+// Every run draws from the same per-level, per-index RNG stream as a
+// standalone RunMonteCarlo, and runs fold into the per-level accumulators in
+// strict (level, run) index order through pool.RunOrdered, so the sweep is
+// byte-identical to running the levels one at a time — at any worker count —
+// while aggregation memory stays independent of the total run count.
+//
+// Runs that fail to converge are recorded in MCResult.NoConverge (and
+// counted unreliable/unrestored) rather than aborting the campaign; any
+// other simulation failure — e.g. a singular system from degenerate
+// parameters — is a genuine error.
+func RunMonteCarloSweep(ctx context.Context, vpps []float64, cfg MCConfig) ([]MCResult, error) {
+	results := make([]MCResult, len(vpps))
+	roots := make([]*rng.Stream, len(vpps))
+	for li, vpp := range vpps {
+		results[li] = MCResult{VPP: vpp, Runs: cfg.Runs}
+		roots[li] = rng.New(cfg.Seed).Derive("spice-mc", fmt.Sprintf("%.2f", vpp))
 	}
-	return res, nil
+	if cfg.Runs <= 0 {
+		return results, ctx.Err()
+	}
+
+	// One reusable Workspace per worker. sync.Pool keeps a workspace warm
+	// per P; results cannot depend on which workspace serves which run
+	// because Workspace.Simulate is bit-identical to a fresh simulation.
+	var workspaces sync.Pool
+	sim := func(p CellParams) (ActivationResult, error) {
+		if cfg.Reference {
+			return SimulateActivationReference(p, nil)
+		}
+		ws, _ := workspaces.Get().(*Workspace)
+		if ws == nil {
+			ws = NewWorkspace()
+		}
+		out, err := ws.Simulate(p, nil)
+		workspaces.Put(ws)
+		return out, err
+	}
+
+	n := len(vpps) * cfg.Runs
+	err := pool.RunOrdered(ctx, cfg.jobs(), n,
+		func(ctx context.Context, i int) (mcRun, error) {
+			li, ri := i/cfg.Runs, i%cfg.Runs
+			p := Vary(DefaultCellParams(vpps[li]), roots[li].Derive("run", ri), cfg.Variation)
+			out, err := sim(p)
+			switch {
+			case errors.Is(err, ErrNoConverge):
+				return mcRun{noConverge: true}, nil
+			case err != nil:
+				return mcRun{}, fmt.Errorf("vpp %.2f run %d: %w", vpps[li], ri, err)
+			}
+			return mcRun{out: out}, nil
+		},
+		func(i int, ro mcRun) error {
+			results[i/cfg.Runs].record(ro.out, ro.noConverge)
+			return nil
+		})
+	return results, err
 }

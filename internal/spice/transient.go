@@ -94,6 +94,31 @@ func newTransient(c *Circuit, dt float64) *Transient {
 // Time returns the current simulation time in seconds.
 func (tr *Transient) Time() float64 { return tr.t }
 
+// Reset rewinds the analysis to t=0 and re-reads the circuit's element
+// values and initial conditions, reusing every workspace allocation. It is
+// the re-stamp half of the Monte-Carlo workspace reuse: after mutating the
+// circuit's R/C/MOS values and initial voltages in place (the topology must
+// be unchanged), Reset makes the next Step sequence bit-identical to a
+// freshly constructed Transient over the same circuit.
+func (tr *Transient) Reset() {
+	tr.t = 0
+	for i := range tr.v {
+		tr.v[i] = 0
+	}
+	for i := range tr.x {
+		tr.x[i] = 0
+	}
+	for node, volts := range tr.ckt.initial {
+		if node > 0 && node <= tr.nv {
+			tr.v[node-1] = volts
+			tr.x[node-1] = volts
+		}
+	}
+	if tr.red != nil {
+		tr.red.reset(tr.ckt, tr.dt, tr.v)
+	}
+}
+
 // V returns the voltage of a node at the current time.
 func (tr *Transient) V(node int) float64 {
 	if node == Ground {
@@ -217,11 +242,21 @@ func newReduced(c *Circuit, nv int, dt float64, v []float64) *reduced {
 	r.newt = make([]float64, ku)
 	r.xPrev = make([]float64, ku)
 	r.xPrev2 = make([]float64, ku)
-	for i, n := range r.nodes {
-		r.xPrev[i] = v[n-1]
-	}
+	r.restamp(c, dt, v)
+	return r
+}
 
-	// Static pass: every stamp that never changes across steps.
+// restamp (re)builds every stamp that never changes across steps, reusing
+// the workspace allocations, and primes the Newton state from the node
+// voltages v. It runs once at construction and again on every Reset, with
+// identical assembly order both times so a reused engine is bit-identical
+// to a fresh one.
+func (r *reduced) restamp(c *Circuit, dt float64, v []float64) {
+	ku := r.ku
+	for i := range r.gStatic {
+		r.gStatic[i] = 0
+	}
+	r.gDriven = r.gDriven[:0]
 	for i := 0; i < ku; i++ {
 		r.gStatic[i*ku+i] += nodeLeak
 	}
@@ -233,7 +268,16 @@ func newReduced(c *Circuit, nv int, dt float64, v []float64) *reduced {
 	for _, cap := range c.caps {
 		r.stampStatic(cap.a, cap.b, cap.farads/dt)
 	}
-	return r
+	r.steps = 0
+	for i, n := range r.nodes {
+		r.xPrev[i] = v[n-1]
+		r.xPrev2[i] = 0
+	}
+}
+
+// reset rewinds the incremental engine for Transient.Reset.
+func (r *reduced) reset(c *Circuit, dt float64, v []float64) {
+	r.restamp(c, dt, v)
 }
 
 // stampStatic adds conductance g between nodes a and b into the static

@@ -4,12 +4,20 @@
 // (percentiles, confidence intervals), and binned population densities for
 // the paper's population-distribution figures (Figs. 4, 6, 8b, 9b, 10b).
 //
+// Two layers share one vocabulary: the batch helpers in this file operate on
+// whole []float64 samples (and serve as the accuracy oracles in the tests),
+// while the streaming accumulators in stream.go fold samples one at a time
+// with memory independent of the sample count — the form the campaign
+// aggregation pipeline uses so run counts stop bounding memory. See
+// stream.go for the batch-vs-streaming accuracy contract.
+//
 // All functions are pure and operate on copies where mutation would otherwise
 // leak to the caller.
 package stats
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -49,15 +57,20 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(Variance(xs))
 }
 
-// CV returns the coefficient of variation (stddev/mean) of xs. The paper
+// CV returns the coefficient of variation (stddev/|mean|) of xs. The paper
 // (§4.6) uses CV across ten measurement iterations to argue statistical
-// significance. CV is 0 when the mean is 0 to avoid a meaningless division.
-func CV(xs []float64) float64 {
+// significance. It returns ErrEmpty for an empty sample and ErrZeroMean for
+// a zero-mean one, where the ratio is undefined (the old silent 0 let a
+// meaningless series masquerade as a perfectly stable measurement).
+func CV(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
 	m := Mean(xs)
 	if m == 0 {
-		return 0
+		return 0, ErrZeroMean
 	}
-	return StdDev(xs) / math.Abs(m)
+	return StdDev(xs) / math.Abs(m), nil
 }
 
 // Min returns the smallest element of xs. It returns ErrEmpty for an empty
@@ -165,13 +178,23 @@ type Histogram struct {
 // outside the range are clamped into the edge bins so that population
 // fractions always sum to 1, matching how the paper's population-density
 // figures account for every tested row. It returns an error for a
-// non-positive bin count or an inverted range.
+// non-positive bin count, an empty or inverted range (lo >= hi), a
+// non-finite bound, or a non-finite sample — previously a NaN silently
+// landed in an implementation-defined bin instead of failing loudly.
 func NewHistogram(xs []float64, lo, hi float64, n int) (Histogram, error) {
 	if n <= 0 {
 		return Histogram{}, errors.New("stats: histogram needs at least one bin")
 	}
+	if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) {
+		return Histogram{}, errors.New("stats: histogram range is not finite")
+	}
 	if hi <= lo {
 		return Histogram{}, errors.New("stats: histogram range is empty")
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return Histogram{}, fmt.Errorf("stats: non-finite histogram sample %v", x)
+		}
 	}
 	h := Histogram{Bins: make([]Bin, n), Total: len(xs)}
 	width := (hi - lo) / float64(n)
@@ -282,28 +305,15 @@ type Summary struct {
 	P99    float64
 }
 
-// Summarize computes a Summary of xs. It returns ErrEmpty for an empty
-// sample.
+// Summarize computes a Summary of xs. It is a thin wrapper over one-shot
+// accumulation into a streaming Dist: the mean, extremes, quantiles, and
+// fractions are identical to the historical batch computation, while the
+// standard deviation comes from the Welford recurrence (see the accuracy
+// contract in stream.go). It returns ErrEmpty for an empty sample.
 func Summarize(xs []float64) (Summary, error) {
-	if len(xs) == 0 {
-		return Summary{}, ErrEmpty
+	var d Dist
+	for _, x := range xs {
+		d.Add(x)
 	}
-	mn, _ := Min(xs)
-	mx, _ := Max(xs)
-	p50, _ := Percentile(xs, 50)
-	p90, _ := Percentile(xs, 90)
-	p95, _ := Percentile(xs, 95)
-	p99, _ := Percentile(xs, 99)
-	return Summary{
-		N:      len(xs),
-		Mean:   Mean(xs),
-		StdDev: StdDev(xs),
-		CV:     CV(xs),
-		Min:    mn,
-		Max:    mx,
-		P50:    p50,
-		P90:    p90,
-		P95:    p95,
-		P99:    p99,
-	}, nil
+	return d.Summary()
 }

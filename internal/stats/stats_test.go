@@ -44,15 +44,21 @@ func TestVarianceAndStdDev(t *testing.T) {
 
 func TestCV(t *testing.T) {
 	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9} // mean 5, sd 2
-	if got := CV(xs); !almostEqual(got, 0.4, 1e-12) {
-		t.Errorf("CV = %v, want 0.4", got)
+	if got, err := CV(xs); err != nil || !almostEqual(got, 0.4, 1e-12) {
+		t.Errorf("CV = %v (%v), want 0.4", got, err)
 	}
-	if got := CV([]float64{0, 0}); got != 0 {
-		t.Errorf("CV of zero-mean sample = %v, want 0", got)
+	if _, err := CV([]float64{0, 0}); err != ErrZeroMean {
+		t.Errorf("CV of zero-mean sample err = %v, want ErrZeroMean", err)
+	}
+	if _, err := CV([]float64{-1, 1}); err != ErrZeroMean {
+		t.Errorf("CV of cancelling sample err = %v, want ErrZeroMean", err)
+	}
+	if _, err := CV(nil); err != ErrEmpty {
+		t.Errorf("CV(nil) err = %v, want ErrEmpty", err)
 	}
 	// CV uses |mean| so a negative-mean sample still gets a positive CV.
-	if got := CV([]float64{-4, -6}); got <= 0 {
-		t.Errorf("CV of negative sample = %v, want > 0", got)
+	if got, err := CV([]float64{-4, -6}); err != nil || got <= 0 {
+		t.Errorf("CV of negative sample = %v (%v), want > 0", got, err)
 	}
 }
 
@@ -178,10 +184,22 @@ func TestHistogramErrors(t *testing.T) {
 		t.Error("zero bins accepted")
 	}
 	if _, err := NewHistogram(nil, 1, 1, 3); err == nil {
-		t.Error("empty range accepted")
+		t.Error("empty range (lo == hi) accepted")
 	}
 	if _, err := NewHistogram(nil, 2, 1, 3); err == nil {
 		t.Error("inverted range accepted")
+	}
+	if _, err := NewHistogram(nil, math.NaN(), 1, 3); err == nil {
+		t.Error("NaN low bound accepted")
+	}
+	if _, err := NewHistogram(nil, 0, math.Inf(1), 3); err == nil {
+		t.Error("infinite high bound accepted")
+	}
+	if _, err := NewHistogram([]float64{0.5, math.NaN()}, 0, 1, 3); err == nil {
+		t.Error("NaN sample accepted")
+	}
+	if _, err := NewHistogram([]float64{math.Inf(-1)}, 0, 1, 3); err == nil {
+		t.Error("infinite sample accepted")
 	}
 }
 

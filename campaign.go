@@ -2,6 +2,7 @@ package rhvpp
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -18,23 +19,24 @@ import (
 // given experiment will actually execute.
 type Study string
 
-// The memoized studies.
+// The memoized studies. The string values are the canonical study names
+// shared with the shard-artifact encoding (internal/experiments).
 const (
 	// StudyRowHammer is the Alg. 1 sweep across modules (Table 3, Figs.
 	// 3-6, the §5 aggregates, and the defense-cost ablation).
-	StudyRowHammer Study = "rowhammer"
+	StudyRowHammer Study = experiments.StudyNameRowHammer
 	// StudyTRCD is the Alg. 2 activation-latency sweep (Fig. 7, §6.1).
-	StudyTRCD Study = "trcd"
+	StudyTRCD Study = experiments.StudyNameTRCD
 	// StudyRetention is the Alg. 3 refresh-window ladder (Fig. 10).
-	StudyRetention Study = "retention"
+	StudyRetention Study = experiments.StudyNameRetention
 	// StudyWaveforms is the SPICE transient simulation (Figs. 8a, 9a).
-	StudyWaveforms Study = "spice-waveforms"
+	StudyWaveforms Study = experiments.StudyNameWaveforms
 	// StudySpiceMC is the SPICE Monte-Carlo campaign (Figs. 8b, 9b).
-	StudySpiceMC Study = "spice-mc"
+	StudySpiceMC Study = experiments.StudyNameSpiceMC
 	// StudyWordAnalysis is the word-granularity retention study (Fig. 11).
-	StudyWordAnalysis Study = "word-analysis"
+	StudyWordAnalysis Study = experiments.StudyNameWordAnalysis
 	// StudyCV is the §4.6 coefficient-of-variation analysis.
-	StudyCV Study = "cv"
+	StudyCV Study = experiments.StudyNameCV
 )
 
 // Encoding aliases, so callers don't need to import the report package.
@@ -115,6 +117,14 @@ func (c *cell[T]) get(fn func() (T, error)) (T, error) {
 	return c.val, c.err
 }
 
+// set preloads the cell with an already-computed value (a study assembled
+// from merged shard artifacts); later get calls return it without running.
+func (c *cell[T]) set(v T) {
+	c.mu.Lock()
+	c.val, c.err, c.done = v, nil, true
+	c.mu.Unlock()
+}
+
 // Campaign is one characterization session at a fixed Options: the shared
 // studies behind the paper's tables and figures run at most once per session
 // and every experiment renders from the memoized results, so regenerating
@@ -136,8 +146,18 @@ func (c *cell[T]) get(fn func() (T, error)) (T, error) {
 // the configured row selection — never by SpiceMCRuns. Scaling Options
 // toward the paper's 10K-runs-per-level (and beyond) grows campaign time,
 // not campaign memory.
+//
+// Study execution goes through a pluggable Runner backend: each study plans
+// into deterministic work units (per-module testbeds; per-VPP-level
+// Monte-Carlo run ranges), the Runner executes them, and the results fold
+// back in catalog/(level, run) order. The default LocalRunner runs units
+// in-process; WithRunner swaps in ProcRunner (shard subprocesses) or a
+// custom backend without changing a byte of output. The same seam powers
+// multi-host sharding: PlanUnits + ShardUnits + RunShard emit per-shard
+// artifacts, and MergeArtifacts folds them back into a preloaded Campaign.
 type Campaign struct {
-	opts Options
+	opts   Options
+	runner Runner
 
 	rowhammer cell[experiments.RowHammerStudy]
 	trcd      cell[experiments.TRCDStudy]
@@ -151,13 +171,26 @@ type Campaign struct {
 	runs map[Study]int
 }
 
-// NewCampaign validates the options and opens a session. Unknown or
-// duplicated ModuleNames are rejected here, before any testbed is built.
+// NewCampaign validates the options and opens a session on the default
+// LocalRunner backend. Unknown or duplicated ModuleNames (and a negative
+// Jobs) are rejected here, before any testbed is built.
 func NewCampaign(o Options) (*Campaign, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	return &Campaign{opts: o, runs: make(map[Study]int)}, nil
+	return &Campaign{opts: o, runner: LocalRunner{}, runs: make(map[Study]int)}, nil
+}
+
+// WithRunner selects the execution backend for studies that have not run
+// yet and returns c for chaining. Call it before the first Run; studies
+// already memoized keep their results. Any Runner must satisfy the
+// byte-identical contract (see Runner), so swapping backends never changes
+// what a campaign reports — only where the work executes.
+func (c *Campaign) WithRunner(r Runner) *Campaign {
+	if r != nil {
+		c.runner = r
+	}
+	return c
 }
 
 // Options returns the campaign's (immutable) parameters.
@@ -182,11 +215,41 @@ func (c *Campaign) countRun(s Study) {
 	c.mu.Unlock()
 }
 
+// runStudy executes one shardable study through the campaign's Runner: plan
+// the units, hand them to the backend, and index the serialized partials by
+// unit key for assembly. The assemble step verifies completeness against the
+// same plan, so a backend that drops or invents units fails loudly.
+func (c *Campaign) runStudy(ctx context.Context, s Study) (map[string]json.RawMessage, error) {
+	units, err := c.Plan(s)
+	if err != nil {
+		return nil, err
+	}
+	results, err := c.runner.RunStudy(ctx, c.opts, s, units)
+	if err != nil {
+		return nil, err
+	}
+	data := make(map[string]json.RawMessage, len(results))
+	for _, r := range results {
+		if r.Unit.Study != string(s) {
+			return nil, fmt.Errorf("rhvpp: runner returned unit %s/%q for the %s study", r.Unit.Study, r.Unit.Key, s)
+		}
+		if _, dup := data[r.Unit.Key]; dup {
+			return nil, fmt.Errorf("rhvpp: runner returned unit %s/%q twice", s, r.Unit.Key)
+		}
+		data[r.Unit.Key] = r.Data
+	}
+	return data, nil
+}
+
 // RowHammer returns the session's Alg. 1 study, computing it on first use.
 func (c *Campaign) RowHammer(ctx context.Context) (RowHammerStudy, error) {
 	return c.rowhammer.get(func() (experiments.RowHammerStudy, error) {
 		c.countRun(StudyRowHammer)
-		return experiments.RunRowHammerStudy(ctx, c.opts)
+		data, err := c.runStudy(ctx, StudyRowHammer)
+		if err != nil {
+			return experiments.RowHammerStudy{}, err
+		}
+		return experiments.AssembleRowHammerStudy(c.opts, data)
 	})
 }
 
@@ -194,7 +257,11 @@ func (c *Campaign) RowHammer(ctx context.Context) (RowHammerStudy, error) {
 func (c *Campaign) TRCD(ctx context.Context) (TRCDStudy, error) {
 	return c.trcd.get(func() (experiments.TRCDStudy, error) {
 		c.countRun(StudyTRCD)
-		return experiments.RunTRCDStudy(ctx, c.opts)
+		data, err := c.runStudy(ctx, StudyTRCD)
+		if err != nil {
+			return experiments.TRCDStudy{}, err
+		}
+		return experiments.AssembleTRCDStudy(c.opts, data)
 	})
 }
 
@@ -202,12 +269,18 @@ func (c *Campaign) TRCD(ctx context.Context) (TRCDStudy, error) {
 func (c *Campaign) Retention(ctx context.Context) (RetentionStudy, error) {
 	return c.retention.get(func() (experiments.RetentionStudy, error) {
 		c.countRun(StudyRetention)
-		return experiments.RunRetentionStudy(ctx, c.opts)
+		data, err := c.runStudy(ctx, StudyRetention)
+		if err != nil {
+			return experiments.RetentionStudy{}, err
+		}
+		return experiments.AssembleRetentionStudy(c.opts, data)
 	})
 }
 
 // SpiceWaveforms returns the session's transient traces, computing them on
-// first use.
+// first use. The waveform study is not sharded: it is one cheap
+// deterministic simulation, so every process (including a merge renderer)
+// computes it locally.
 func (c *Campaign) SpiceWaveforms(ctx context.Context) (Waveforms, error) {
 	return c.waveforms.get(func() (experiments.Waveforms, error) {
 		c.countRun(StudyWaveforms)
@@ -219,7 +292,11 @@ func (c *Campaign) SpiceWaveforms(ctx context.Context) (Waveforms, error) {
 func (c *Campaign) SpiceMC(ctx context.Context) (MCStudy, error) {
 	return c.spiceMC.get(func() (experiments.MCStudy, error) {
 		c.countRun(StudySpiceMC)
-		return experiments.RunMCStudy(ctx, c.opts)
+		data, err := c.runStudy(ctx, StudySpiceMC)
+		if err != nil {
+			return experiments.MCStudy{}, err
+		}
+		return experiments.AssembleMCStudy(c.opts, data)
 	})
 }
 
@@ -228,7 +305,11 @@ func (c *Campaign) SpiceMC(ctx context.Context) (MCStudy, error) {
 func (c *Campaign) WordAnalysis(ctx context.Context) (WordAnalysis, error) {
 	return c.words.get(func() (experiments.WordAnalysis, error) {
 		c.countRun(StudyWordAnalysis)
-		return experiments.RunWordAnalysis(ctx, c.opts)
+		data, err := c.runStudy(ctx, StudyWordAnalysis)
+		if err != nil {
+			return experiments.WordAnalysis{}, err
+		}
+		return experiments.AssembleWordAnalysis(c.opts, data)
 	})
 }
 
@@ -236,7 +317,11 @@ func (c *Campaign) WordAnalysis(ctx context.Context) (WordAnalysis, error) {
 func (c *Campaign) CV(ctx context.Context) (CVStudy, error) {
 	return c.cv.get(func() (experiments.CVStudy, error) {
 		c.countRun(StudyCV)
-		return experiments.RunCVStudy(ctx, c.opts)
+		data, err := c.runStudy(ctx, StudyCV)
+		if err != nil {
+			return experiments.CVStudy{}, err
+		}
+		return experiments.AssembleCVStudy(c.opts, data)
 	})
 }
 

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -142,6 +144,83 @@ func TestCampaignHonorsCancellation(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "B3") {
 		t.Errorf("post-cancellation output wrong:\n%s", buf.String())
+	}
+}
+
+// TestCellCanceledComputationDoesNotPoisonUnderConcurrency pins the memo
+// cell's cancellation semantics with two racing callers: the first caller's
+// computation aborts with context.Canceled and must NOT be memoized; the
+// second caller — already blocked on the cell while the first computes —
+// must then re-measure under its own live context and succeed; a third
+// caller gets the memoized success without running anything.
+func TestCellCanceledComputationDoesNotPoisonUnderConcurrency(t *testing.T) {
+	var c cell[int]
+	firstEntered := make(chan struct{})
+	firstRelease := make(chan struct{})
+	var runs atomic.Int32
+
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := c.get(func() (int, error) {
+			runs.Add(1)
+			close(firstEntered)
+			<-firstRelease
+			return 0, fmt.Errorf("sweep aborted: %w", context.Canceled)
+		})
+		firstDone <- err
+	}()
+
+	<-firstEntered // the first caller is now computing inside the cell
+	secondDone := make(chan struct{})
+	var secondVal int
+	var secondErr error
+	go func() {
+		defer close(secondDone)
+		// Blocks on the cell's lock until the first computation finishes.
+		secondVal, secondErr = c.get(func() (int, error) {
+			runs.Add(1)
+			return 42, nil
+		})
+	}()
+
+	close(firstRelease)
+	if err := <-firstDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("first caller returned %v, want context.Canceled", err)
+	}
+	<-secondDone
+	if secondErr != nil || secondVal != 42 {
+		t.Fatalf("second caller got (%d, %v), want (42, nil): the canceled attempt poisoned the cell", secondVal, secondErr)
+	}
+
+	// The success IS memoized: a third caller must not run its function.
+	third, err := c.get(func() (int, error) {
+		runs.Add(1)
+		return -1, nil
+	})
+	if err != nil || third != 42 {
+		t.Fatalf("third caller got (%d, %v), want memoized (42, nil)", third, err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Errorf("computation ran %d times, want 2 (canceled attempt + live re-measure)", got)
+	}
+}
+
+// TestCellMemoizesGenuineFailures: non-cancellation errors are results, not
+// transient conditions — they memoize like values.
+func TestCellMemoizesGenuineFailures(t *testing.T) {
+	var c cell[int]
+	var runs atomic.Int32
+	boom := errors.New("testbed fault")
+	for i := 0; i < 3; i++ {
+		if _, err := c.get(func() (int, error) {
+			runs.Add(1)
+			return 0, boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("call %d returned %v, want the memoized fault", i, err)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("failing computation ran %d times, want 1", got)
 	}
 }
 

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -19,6 +20,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/dramstudy/rhvpp"
 	"github.com/dramstudy/rhvpp/internal/spice"
 )
 
@@ -49,6 +51,14 @@ type Snapshot struct {
 	MCAggRunsPerSec  float64 `json:"mc_agg_runs_per_sec"`
 	MCAggLevels      int     `json:"mc_agg_levels"`
 	MCAggBytesPerRun float64 `json:"mc_agg_bytes_per_run"`
+
+	// Sharded campaign pipeline end to end: the full SPICE Monte-Carlo study
+	// split into 2 shard artifacts (plan -> run -> encode), file-decoded and
+	// merged back into a rendered-ready campaign. Runs/s over the whole
+	// pipeline, so the serialization + merge overhead of sharding is visible
+	// next to the raw in-process MC throughput above.
+	ShardMergeRunsPerSec float64 `json:"shard_merge_runs_per_sec"`
+	ShardMergeShards     int     `json:"shard_merge_shards"`
 }
 
 func main() {
@@ -126,7 +136,52 @@ func measure(runs, jobs int) (Snapshot, error) {
 	snap.MCAggRunsPerSec = aggRate
 	snap.MCAggBytesPerRun = aggBytes
 	snap.MCAggLevels = levels
+
+	snap.ShardMergeShards = 2
+	snap.ShardMergeRunsPerSec, err = shardMergeThroughput(runs, jobs, snap.ShardMergeShards)
+	if err != nil {
+		return snap, err
+	}
 	return snap, nil
+}
+
+// shardMergeThroughput times the sharded-campaign pipeline end to end for
+// the SPICE Monte-Carlo study: plan units, execute each shard, encode each
+// artifact to bytes, decode them back (the file round trip), merge into a
+// ready-to-render campaign. Returns total Monte-Carlo runs per second.
+func shardMergeThroughput(runs, jobs, shards int) (float64, error) {
+	o := rhvpp.DefaultOptions()
+	o.SpiceMCRuns = runs
+	o.Jobs = jobs
+	units, err := rhvpp.PlanUnits(o, rhvpp.StudySpiceMC)
+	if err != nil {
+		return 0, err
+	}
+	ctx := context.Background()
+	start := time.Now()
+	arts := make([]*rhvpp.ShardArtifact, shards)
+	for i := range arts {
+		part, err := rhvpp.ShardUnits(units, i, shards)
+		if err != nil {
+			return 0, err
+		}
+		art, err := rhvpp.RunShard(ctx, o, i, shards, part)
+		if err != nil {
+			return 0, err
+		}
+		var buf bytes.Buffer
+		if err := rhvpp.EncodeArtifact(&buf, art); err != nil {
+			return 0, err
+		}
+		if arts[i], err = rhvpp.DecodeArtifact(&buf); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := rhvpp.MergeArtifacts(arts...); err != nil {
+		return 0, err
+	}
+	total := float64(len(units) * runs)
+	return total / time.Since(start).Seconds(), nil
 }
 
 // mcAggregate measures the streaming aggregation pipeline end to end: a

@@ -17,25 +17,10 @@ import (
 // across the batch-to-streaming migration.
 var update = flag.Bool("update", false, "rewrite testdata golden files")
 
-// goldenOptions is a scoped campaign exercising every merge path the
-// streaming refactor touches: two modules per manufacturer (so per-module
-// accumulators merge in catalog order), a tRCD-failing module (A0), a
-// retention-failing module (B6), and a Monte-Carlo sweep large enough to
-// populate the Fig. 8b/9b distribution columns.
-func goldenOptions() Options {
-	o := DefaultOptions()
-	o.Geometry = Geometry{Banks: 1, RowsPerBank: 4096, RowBytes: 512, SubarrayRows: 512}
-	cfg := QuickConfig()
-	cfg.MinHCStep = 4000
-	o.Config = cfg
-	o.Chunks = 2
-	o.RowsPerChunk = 3
-	o.VPPStride = 4
-	o.SpiceMCRuns = 24
-	o.RetentionVPPLevels = []float64{2.5, 1.9, 1.5}
-	o.ModuleNames = []string{"A0", "A3", "B0", "B3", "B6", "C0"}
-	return o
-}
+// goldenOptions is the pinned regression-campaign scope, exported as
+// GoldenOptions so the CLI's `-preset golden` (and CI's sharded-equivalence
+// job) replay exactly the campaign behind the committed goldens.
+func goldenOptions() Options { return GoldenOptions() }
 
 // renderAll renders every experiment id through one Campaign, like
 // `rhvpp -exp all`, into a single buffer.
@@ -45,6 +30,12 @@ func renderAll(t *testing.T, o Options, format Format) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return renderAllWith(t, c, format)
+}
+
+// renderAllWith renders every experiment id through the given campaign.
+func renderAllWith(t *testing.T, c *Campaign, format Format) []byte {
+	t.Helper()
 	var buf bytes.Buffer
 	for _, e := range Experiments() {
 		buf.WriteString("== " + e.ID + " ==\n")
@@ -102,6 +93,68 @@ func TestGoldenCampaignOutput(t *testing.T) {
 					format, firstDiff(parallel, got))
 			}
 		})
+	}
+}
+
+// TestGoldenShardMergeOutput is the sharding acceptance gate: the campaign
+// split into 1-, 2-, and 3-way shard artifacts — each shard executed as its
+// own RunShard with its slice of the plan, then folded back by
+// MergeArtifacts — must reproduce testdata/golden/all.{txt,json,csv} BYTE
+// FOR BYTE in every encoder format. The artifacts additionally make a full
+// file-encoding round trip, so the test pins the wire format, not just the
+// in-memory merge.
+func TestGoldenShardMergeOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded campaign renders in -short mode")
+	}
+	exts := map[Format]string{FormatText: "txt", FormatJSON: "json", FormatCSV: "csv"}
+	goldens := map[Format][]byte{}
+	for format, ext := range exts {
+		want, err := os.ReadFile(filepath.Join("testdata", "golden", "all."+ext))
+		if err != nil {
+			t.Fatalf("missing golden (run `go test -run TestGoldenCampaignOutput -update .`): %v", err)
+		}
+		goldens[format] = want
+	}
+
+	o := goldenOptions()
+	units, err := PlanUnits(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3} {
+		arts := make([]*ShardArtifact, n)
+		for i := 0; i < n; i++ {
+			part, err := ShardUnits(units, i, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			art, err := RunShard(t.Context(), o, i, n, part)
+			if err != nil {
+				t.Fatalf("shard %d/%d: %v", i, n, err)
+			}
+			// Round-trip through the file encoding, like real shard files.
+			var buf bytes.Buffer
+			if err := EncodeArtifact(&buf, art); err != nil {
+				t.Fatal(err)
+			}
+			if arts[i], err = DecodeArtifact(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// One merged campaign renders all three formats from the same
+		// artifacts — the render side is backend-independent.
+		merged, err := MergeArtifacts(arts...)
+		if err != nil {
+			t.Fatalf("merge %d-way: %v", n, err)
+		}
+		for _, format := range []Format{FormatText, FormatJSON, FormatCSV} {
+			got := renderAllWith(t, merged, format)
+			if !bytes.Equal(got, goldens[format]) {
+				t.Errorf("%d-way shard merge diverged from golden all.%s\n%s",
+					n, exts[format], firstDiff(got, goldens[format]))
+			}
+		}
 	}
 }
 

@@ -90,6 +90,13 @@ func RunCVStudy(ctx context.Context, o Options) (CVStudy, error) {
 	if err != nil {
 		return CVStudy{}, err
 	}
+	return assembleCV(perModule), nil
+}
+
+// assembleCV merges per-module CV populations — already in catalog order —
+// into the study summary; shared by the in-process driver and the
+// shard-artifact assembly.
+func assembleCV(perModule []stats.Dist) CVStudy {
 	var st CVStudy
 	for _, cvs := range perModule {
 		st.CVs.Merge(cvs)
@@ -99,7 +106,7 @@ func RunCVStudy(ctx context.Context, o Options) (CVStudy, error) {
 		st.P95, _ = st.CVs.Percentile(95)
 		st.P99, _ = st.CVs.Percentile(99)
 	}
-	return st, nil
+	return st
 }
 
 // runModuleCV folds one module's CV population at nominal VPP and VPPmin

@@ -101,9 +101,15 @@ func KnownModuleNames() []string {
 	return names
 }
 
-// Validate rejects campaigns that would silently test the wrong population:
-// every entry of ModuleNames must be a Table 3 label, with no duplicates.
+// Validate rejects campaigns that would silently test the wrong population
+// (every entry of ModuleNames must be a Table 3 label, with no duplicates)
+// or misread their own knobs: a negative Jobs is an error — it is neither
+// "serial" (that is 1) nor "one per CPU" (that is 0), so accepting it would
+// quietly run a configuration the caller never asked for.
 func (o Options) Validate() error {
+	if o.Jobs < 0 {
+		return fmt.Errorf("experiments: Jobs %d is negative (use 0 for one worker per CPU, or a positive worker count)", o.Jobs)
+	}
 	_, err := o.profiles()
 	return err
 }

@@ -28,92 +28,122 @@ type RetentionStudy struct {
 	RowBERAt4s map[physics.Manufacturer][]stats.Moments
 }
 
-// moduleRetention is one module's contribution, measured independently so
-// modules can run concurrently and merge in catalog order. All aggregates
-// are streaming: memory per module is O(levels x windows), independent of
-// the number of tested rows.
-type moduleRetention struct {
-	mfr   physics.Manufacturer
-	sum   [][]float64     // [vpp][window] BER sum across rows
-	count [][]int         // [vpp][window] row count
-	rows  []stats.Moments // [vpp] per-row BER population at tREFW = 4s
+// ModuleRetention is one module's serializable retention partial, measured
+// independently so modules can run concurrently (or on different shards) and
+// merge in catalog order. All aggregates are streaming: memory per module is
+// O(levels x windows), independent of the number of tested rows.
+type ModuleRetention struct {
+	// Module is the Table 3 label; Mfr its manufacturer.
+	Module string               `json:"module"`
+	Mfr    physics.Manufacturer `json:"mfr"`
+	// Sum and Count hold the [vpp][window] BER sum / row count across rows.
+	Sum   [][]float64 `json:"sum"`
+	Count [][]int     `json:"count"`
+	// Rows is the [vpp] per-row BER population at tREFW = 4s.
+	Rows []stats.Moments `json:"rows"`
+}
+
+// retentionGrid derives the study's measurement grid from the options: the
+// swept VPP levels, the refresh-window ladder, and the index of the 4 s
+// window Fig. 10b reports (-1 when the ladder omits it).
+func retentionGrid(o Options) (vpps, windows []float64, idx4s int) {
+	idx4s = -1
+	for i, w := range o.Config.RetentionWindowsMS {
+		if w == 4096 {
+			idx4s = i
+		}
+	}
+	return o.RetentionVPPLevels, o.Config.RetentionWindowsMS, idx4s
 }
 
 // RunRetentionStudy sweeps retention behavior per module at 80C.
 func RunRetentionStudy(ctx context.Context, o Options) (RetentionStudy, error) {
+	profs, err := o.profiles()
+	if err != nil {
+		return RetentionStudy{}, err
+	}
+	perModule, err := runPool(ctx, o.jobs(), profs,
+		func(ctx context.Context, prof physics.ModuleProfile) (ModuleRetention, error) {
+			return RunModuleRetention(ctx, o, prof)
+		})
+	if err != nil {
+		return RetentionStudy{}, err
+	}
+	return assembleRetention(o, perModule)
+}
+
+// assembleRetention folds per-module partials — already in catalog order —
+// into the per-manufacturer study aggregates. It is the single merge path
+// shared by the in-process driver and the shard-artifact assembly, so a
+// merged multi-shard campaign reproduces the single-process bytes.
+func assembleRetention(o Options, perModule []ModuleRetention) (RetentionStudy, error) {
 	st := RetentionStudy{
 		WindowsMS:  o.Config.RetentionWindowsMS,
 		VPP:        o.RetentionVPPLevels,
 		MeanBER:    make(map[physics.Manufacturer][][]float64),
 		RowBERAt4s: make(map[physics.Manufacturer][]stats.Moments),
 	}
-	idx4s := -1
-	for i, w := range st.WindowsMS {
-		if w == 4096 {
-			idx4s = i
+	for _, m := range perModule {
+		if len(m.Sum) != len(st.VPP) || len(m.Count) != len(st.VPP) || len(m.Rows) != len(st.VPP) {
+			return st, fmt.Errorf("experiments: module %s retention partial has %d levels, campaign has %d",
+				m.Module, len(m.Sum), len(st.VPP))
+		}
+		for vi := range m.Sum {
+			if len(m.Sum[vi]) != len(st.WindowsMS) || len(m.Count[vi]) != len(st.WindowsMS) {
+				return st, fmt.Errorf("experiments: module %s retention partial has %d windows at level %d, campaign has %d",
+					m.Module, len(m.Sum[vi]), vi, len(st.WindowsMS))
+			}
 		}
 	}
-
-	profs, err := o.profiles()
-	if err != nil {
-		return st, err
-	}
-	perModule, err := runPool(ctx, o.jobs(), profs,
-		func(ctx context.Context, prof physics.ModuleProfile) (moduleRetention, error) {
-			return runModuleRetention(ctx, o, prof, st.VPP, st.WindowsMS, idx4s)
-		})
-	if err != nil {
-		return st, err
-	}
-
 	for _, mfr := range []physics.Manufacturer{physics.MfrA, physics.MfrB, physics.MfrC} {
-		a := moduleRetention{mfr: mfr}
-		a.sum = make([][]float64, len(st.VPP))
-		a.count = make([][]int, len(st.VPP))
-		a.rows = make([]stats.Moments, len(st.VPP))
-		for i := range a.sum {
-			a.sum[i] = make([]float64, len(st.WindowsMS))
-			a.count[i] = make([]int, len(st.WindowsMS))
+		a := ModuleRetention{Mfr: mfr}
+		a.Sum = make([][]float64, len(st.VPP))
+		a.Count = make([][]int, len(st.VPP))
+		a.Rows = make([]stats.Moments, len(st.VPP))
+		for i := range a.Sum {
+			a.Sum[i] = make([]float64, len(st.WindowsMS))
+			a.Count[i] = make([]int, len(st.WindowsMS))
 		}
 		// Merge in catalog order so Fig. 10b's row populations accumulate
 		// identically at any worker count.
 		for _, m := range perModule {
-			if m.mfr != mfr {
+			if m.Mfr != mfr {
 				continue
 			}
-			for vi := range m.sum {
-				for wi := range m.sum[vi] {
-					a.sum[vi][wi] += m.sum[vi][wi]
-					a.count[vi][wi] += m.count[vi][wi]
+			for vi := range m.Sum {
+				for wi := range m.Sum[vi] {
+					a.Sum[vi][wi] += m.Sum[vi][wi]
+					a.Count[vi][wi] += m.Count[vi][wi]
 				}
-				a.rows[vi].Merge(m.rows[vi])
+				a.Rows[vi].Merge(m.Rows[vi])
 			}
 		}
 		mean := make([][]float64, len(st.VPP))
-		for vi := range a.sum {
+		for vi := range a.Sum {
 			mean[vi] = make([]float64, len(st.WindowsMS))
-			for wi := range a.sum[vi] {
-				if a.count[vi][wi] > 0 {
-					mean[vi][wi] = a.sum[vi][wi] / float64(a.count[vi][wi])
+			for wi := range a.Sum[vi] {
+				if a.Count[vi][wi] > 0 {
+					mean[vi][wi] = a.Sum[vi][wi] / float64(a.Count[vi][wi])
 				}
 			}
 		}
 		st.MeanBER[mfr] = mean
-		st.RowBERAt4s[mfr] = a.rows
+		st.RowBERAt4s[mfr] = a.Rows
 	}
 	return st, nil
 }
 
-// runModuleRetention measures one module across the allowed VPP levels.
-func runModuleRetention(ctx context.Context, o Options, prof physics.ModuleProfile,
-	vppLevels, windows []float64, idx4s int) (moduleRetention, error) {
-	m := moduleRetention{mfr: prof.Mfr}
-	m.sum = make([][]float64, len(vppLevels))
-	m.count = make([][]int, len(vppLevels))
-	m.rows = make([]stats.Moments, len(vppLevels))
-	for i := range m.sum {
-		m.sum[i] = make([]float64, len(windows))
-		m.count[i] = make([]int, len(windows))
+// RunModuleRetention measures one module across the allowed VPP levels — one
+// work unit of the sharded retention study.
+func RunModuleRetention(ctx context.Context, o Options, prof physics.ModuleProfile) (ModuleRetention, error) {
+	vppLevels, windows, idx4s := retentionGrid(o)
+	m := ModuleRetention{Module: prof.Name, Mfr: prof.Mfr}
+	m.Sum = make([][]float64, len(vppLevels))
+	m.Count = make([][]int, len(vppLevels))
+	m.Rows = make([]stats.Moments, len(vppLevels))
+	for i := range m.Sum {
+		m.Sum[i] = make([]float64, len(windows))
+		m.Count[i] = make([]int, len(windows))
 	}
 
 	tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
@@ -135,11 +165,11 @@ func runModuleRetention(ctx context.Context, o Options, prof physics.ModuleProfi
 				return m, fmt.Errorf("module %s row %d at %.1fV: %w", prof.Name, row, vpp, err)
 			}
 			for wi := range windows {
-				m.sum[vi][wi] += res.Points[wi].BER
-				m.count[vi][wi]++
+				m.Sum[vi][wi] += res.Points[wi].BER
+				m.Count[vi][wi]++
 			}
 			if idx4s >= 0 {
-				m.rows[vi].Add(res.Points[idx4s].BER)
+				m.Rows[vi].Add(res.Points[idx4s].BER)
 			}
 		}
 	}
@@ -222,35 +252,44 @@ type WordAnalysis struct {
 	TotalModules   int
 }
 
-// moduleWords is one module's word-granularity measurement.
-type moduleWords struct {
-	mfr        physics.Manufacturer
-	rowCount   int
-	clean64    bool
-	clean128   bool
-	at64       map[int]int
-	at128      map[int]int
-	multiFlips bool
+// ModuleWords is one module's serializable word-granularity partial — one
+// work unit of the sharded Fig. 11 study.
+type ModuleWords struct {
+	Module     string               `json:"module"`
+	Mfr        physics.Manufacturer `json:"mfr"`
+	RowCount   int                  `json:"row_count"`
+	Clean64    bool                 `json:"clean64"`
+	Clean128   bool                 `json:"clean128"`
+	At64       map[int]int          `json:"at64"`
+	At128      map[int]int          `json:"at128"`
+	MultiFlips bool                 `json:"multi_flips"`
 }
 
 // RunWordAnalysis performs the Fig. 11 measurement through the controller,
 // one pooled worker per module.
 func RunWordAnalysis(ctx context.Context, o Options) (WordAnalysis, error) {
+	profs, err := o.profiles()
+	if err != nil {
+		return WordAnalysis{}, err
+	}
+	perModule, err := runPool(ctx, o.jobs(), profs,
+		func(ctx context.Context, prof physics.ModuleProfile) (ModuleWords, error) {
+			return RunModuleWords(ctx, o, prof)
+		})
+	if err != nil {
+		return WordAnalysis{}, err
+	}
+	return assembleWordAnalysis(perModule), nil
+}
+
+// assembleWordAnalysis folds per-module partials (in catalog order) into the
+// Fig. 11 aggregates — the merge path shared by the in-process driver and the
+// shard-artifact assembly.
+func assembleWordAnalysis(perModule []ModuleWords) WordAnalysis {
 	wa := WordAnalysis{
 		Distribution64:  map[physics.Manufacturer]map[int]float64{},
 		Distribution128: map[physics.Manufacturer]map[int]float64{},
 		SECDEDSafe:      true,
-	}
-	profs, err := o.profiles()
-	if err != nil {
-		return wa, err
-	}
-	perModule, err := runPool(ctx, o.jobs(), profs,
-		func(ctx context.Context, prof physics.ModuleProfile) (moduleWords, error) {
-			return runModuleWords(ctx, o, prof)
-		})
-	if err != nil {
-		return wa, err
 	}
 
 	type mfrCount struct {
@@ -267,25 +306,25 @@ func RunWordAnalysis(ctx context.Context, o Options) (WordAnalysis, error) {
 	}
 	for _, m := range perModule {
 		wa.TotalModules++
-		if m.multiFlips {
+		if m.MultiFlips {
 			wa.SECDEDSafe = false
 		}
-		if m.clean64 {
+		if m.Clean64 {
 			wa.CleanModules64++
 		}
-		mc := counts[m.mfr]
+		mc := counts[m.Mfr]
 		// The Fig. 11 population is "rows in modules exhibiting flips at
 		// that window": only failing modules enter the denominators.
-		if !m.clean64 {
-			mc.rows += m.rowCount
-			for k, n := range m.at64 {
+		if !m.Clean64 {
+			mc.rows += m.RowCount
+			for k, n := range m.At64 {
 				mc.at64[k] += n
 				mc.fail64 += n
 			}
 		}
-		if !m.clean128 {
-			mc.rows128 += m.rowCount
-			for k, n := range m.at128 {
+		if !m.Clean128 {
+			mc.rows128 += m.RowCount
+			for k, n := range m.At128 {
 				mc.at128[k] += n
 				mc.fail128New += n
 			}
@@ -313,14 +352,14 @@ func RunWordAnalysis(ctx context.Context, o Options) (WordAnalysis, error) {
 	if rows128 > 0 {
 		wa.FracNeedingFastRefresh128 = float64(totalFail128) / float64(rows128)
 	}
-	return wa, nil
+	return wa
 }
 
-// runModuleWords measures one module's word-error structure at VPPmin.
-func runModuleWords(ctx context.Context, o Options, prof physics.ModuleProfile) (moduleWords, error) {
-	m := moduleWords{
-		mfr: prof.Mfr, clean64: true, clean128: true,
-		at64: map[int]int{}, at128: map[int]int{},
+// RunModuleWords measures one module's word-error structure at VPPmin.
+func RunModuleWords(ctx context.Context, o Options, prof physics.ModuleProfile) (ModuleWords, error) {
+	m := ModuleWords{
+		Module: prof.Name, Mfr: prof.Mfr, Clean64: true, Clean128: true,
+		At64: map[int]int{}, At128: map[int]int{},
 	}
 	tb := infra.NewTestbed(prof, o.Geometry, o.Seed)
 	if err := tb.SetTemperature(physics.RetentionTestTempC); err != nil {
@@ -331,7 +370,7 @@ func runModuleWords(ctx context.Context, o Options, prof physics.ModuleProfile) 
 	}
 	ctrl := tb.Controller
 	rows := core.SelectRows(o.Geometry, o.Chunks, o.RowsPerChunk)
-	m.rowCount = len(rows)
+	m.RowCount = len(rows)
 
 	const fill = 0xAA
 	measure := func(row int, windowMS float64) (ecc.WordErrors, error) {
@@ -357,11 +396,11 @@ func runModuleWords(ctx context.Context, o Options, prof physics.ModuleProfile) 
 			return m, err
 		}
 		if we64.WordsWithMultiFlips > 0 {
-			m.multiFlips = true
+			m.MultiFlips = true
 		}
 		if we64.WordsWithOneFlip > 0 {
-			m.at64[we64.WordsWithOneFlip]++
-			m.clean64 = false
+			m.At64[we64.WordsWithOneFlip]++
+			m.Clean64 = false
 			continue // 128 ms tier counts only rows clean at 64 ms
 		}
 		we128, err := measure(row, 128)
@@ -369,11 +408,11 @@ func runModuleWords(ctx context.Context, o Options, prof physics.ModuleProfile) 
 			return m, err
 		}
 		if we128.WordsWithMultiFlips > 0 {
-			m.multiFlips = true
+			m.MultiFlips = true
 		}
 		if we128.WordsWithOneFlip > 0 {
-			m.at128[we128.WordsWithOneFlip]++
-			m.clean128 = false
+			m.At128[we128.WordsWithOneFlip]++
+			m.Clean128 = false
 		}
 	}
 	return m, nil

@@ -61,6 +61,26 @@ func (r *MCResult) record(out ActivationResult, noConverge bool) {
 	}
 }
 
+// Merge folds another partial result at the SAME VPP level into r, in run
+// order: r must hold the earlier run range and o the later one. It exists for
+// sharded campaigns that split one level's runs across processes; because the
+// distribution accumulators merge exactly (and the mean's float summation
+// order is fixed by the merge order), merging per-range partials in run order
+// reproduces the single-process level result. Levels are distinct populations
+// by construction, so merging across different VPPs is an error.
+func (r *MCResult) Merge(o MCResult) error {
+	if r.VPP != o.VPP {
+		return fmt.Errorf("spice: merging MC results at different VPP levels %.2f and %.2f", r.VPP, o.VPP)
+	}
+	r.TRCDmin.Merge(o.TRCDmin)
+	r.TRASmin.Merge(o.TRASmin)
+	r.Unreliable += o.Unreliable
+	r.Unrestored += o.Unrestored
+	r.NoConverge += o.NoConverge
+	r.Runs += o.Runs
+	return nil
+}
+
 // Reliable returns the number of runs with a reliable activation.
 func (r MCResult) Reliable() int { return r.TRCDmin.N() }
 

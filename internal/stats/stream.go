@@ -232,8 +232,12 @@ func (f Fraction) Above() float64 {
 // P2Quantile estimates a single quantile in O(1) memory with the P² algorithm
 // (Jain & Chlamtac, 1985): five markers whose heights approximate the
 // quantile via piecewise-parabolic interpolation. For n <= 5 samples the
-// estimate is the exact order statistic. P² has no exact merge; use one
-// estimator per ordered stream (or ValueCounts when exactness is required).
+// estimate is the exact order statistic. P² has no exact merge (and therefore
+// no Merge method or JSON encoding): the marker state depends on the arrival
+// order of the whole stream, so two partial estimators cannot be combined
+// into the estimator of the concatenated stream. Use one estimator per
+// ordered stream; in sharded campaigns, use the lossless ValueCounts multiset
+// instead — it merges and serializes exactly.
 type P2Quantile struct {
 	p     float64    // target quantile in (0, 1)
 	n     int        // samples seen

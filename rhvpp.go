@@ -112,6 +112,28 @@ func DefaultOptions() Options { return experiments.Default() }
 // PaperOptions returns the full-scale campaign parameters.
 func PaperOptions() Options { return experiments.Paper() }
 
+// GoldenOptions returns the pinned regression-campaign scope: the exact
+// parameters behind testdata/golden/all.{txt,json,csv}. It spans two modules
+// per manufacturer (so per-module partials merge in catalog order), a
+// tRCD-failing module (A0), a retention-failing module (B6), and a
+// Monte-Carlo sweep large enough to populate the Fig. 8b/9b distribution
+// columns — the scope the golden test and CI's sharded-equivalence job both
+// replay. Change it only together with the committed goldens.
+func GoldenOptions() Options {
+	o := experiments.Default()
+	o.Geometry = physics.Geometry{Banks: 1, RowsPerBank: 4096, RowBytes: 512, SubarrayRows: 512}
+	cfg := core.Quick()
+	cfg.MinHCStep = 4000
+	o.Config = cfg
+	o.Chunks = 2
+	o.RowsPerChunk = 3
+	o.VPPStride = 4
+	o.SpiceMCRuns = 24
+	o.RetentionVPPLevels = []float64{2.5, 1.9, 1.5}
+	o.ModuleNames = []string{"A0", "A3", "B0", "B3", "B6", "C0"}
+	return o
+}
+
 // Lab is an assembled testbed for one simulated module: the DIMM on the
 // interposer, the SoftMC controller, the external VPP supply, and the
 // thermal loop — everything Fig. 2 of the paper shows, in software.

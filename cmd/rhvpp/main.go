@@ -75,6 +75,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		seed     = fs.Uint64("seed", 0, "simulation seed (0 = default)")
 		stride   = fs.Int("stride", 0, "VPP sweep stride (1 = every 0.1V level)")
 		mcRuns   = fs.Int("mc", 0, "SPICE Monte-Carlo runs per voltage (0 = default)")
+		lteTol   = fs.Float64("ltetol", 0, "adaptive SPICE step-doubling error tolerance in volts (0 = engine default; beyond the default the fixed-grid crossing equivalence is best-effort)")
+		fixGrid  = fs.Bool("fixed-grid", false, "integrate the SPICE Monte-Carlo on the historical fixed 25 ps grid (disables adaptive stepping)")
 		full     = fs.Bool("full", false, "use the paper's full-scale parameters (same as -preset paper)")
 		preset   = fs.String("preset", "", "campaign preset: default, paper, or golden (the pinned regression scope)")
 		outDir   = fs.String("out", "", "write each experiment's output to <out>/<id>.<ext> instead of stdout")
@@ -131,6 +133,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *mcRuns > 0 {
 		o.SpiceMCRuns = *mcRuns
 	}
+	if *lteTol != 0 {
+		o.SpiceLTETolV = *lteTol // negative rejected by Options.Validate
+	}
+	o.SpiceFixedGrid = *fixGrid
 	o.Jobs = *jobs
 
 	if *procs < 0 {

@@ -31,17 +31,33 @@ type Snapshot struct {
 	NumCPU    int    `json:"num_cpu"`
 
 	// Transient-step throughput on the Table 2 netlist at nominal VPP.
+	// "Per step" means per base-grid cell covered, so the adaptive figure
+	// folds the coarse-stepping reduction in.
+	StepNSAdaptive    float64 `json:"transient_step_ns_adaptive"`
 	StepNSIncremental float64 `json:"transient_step_ns_incremental"`
 	StepNSReference   float64 `json:"transient_step_ns_reference"`
 	StepSpeedup       float64 `json:"transient_step_speedup"`
+	StepSpeedupAdapt  float64 `json:"transient_step_speedup_adaptive"`
 
-	// Monte-Carlo campaign throughput at 2.0 V, ±5% variation.
-	MCRunsPerSecReference float64 `json:"mc_runs_per_sec_serial_reference"`
-	MCRunsPerSecJobs1     float64 `json:"mc_runs_per_sec_jobs1"`
-	MCRunsPerSecJobs      float64 `json:"mc_runs_per_sec_jobs"`
-	MCJobs                int     `json:"mc_jobs"`
-	MCSpeedupJobs1        float64 `json:"mc_speedup_jobs1_vs_reference"`
-	MCSpeedupJobs         float64 `json:"mc_speedup_jobs_vs_reference"`
+	// Adaptive step-count reduction over the Fig. 8a/9a sweep (all nine
+	// VPP levels): implicit solves saved overall, and cells-per-solve on
+	// the quiescent stretches alone (the accepted coarse steps) — the
+	// acceptance floor for the latter is 3x.
+	AdaptiveStepReduction      float64 `json:"adaptive_step_reduction_sweep"`
+	AdaptiveQuiescentReduction float64 `json:"adaptive_quiescent_step_reduction"`
+
+	// Monte-Carlo campaign throughput at 2.0 V, ±5% variation. The jobs1
+	// figure runs the default adaptive engine; the fixed-grid variant is
+	// the A/B at the same worker count (2.0 V has a short quiescent tail,
+	// so the adaptive win concentrates in the lower-VPP levels that
+	// dominate the real sweep — see mc_agg_runs_per_sec).
+	MCRunsPerSecReference  float64 `json:"mc_runs_per_sec_serial_reference"`
+	MCRunsPerSecJobs1Fixed float64 `json:"mc_runs_per_sec_jobs1_fixed_grid"`
+	MCRunsPerSecJobs1      float64 `json:"mc_runs_per_sec_jobs1"`
+	MCRunsPerSecJobs       float64 `json:"mc_runs_per_sec_jobs"`
+	MCJobs                 int     `json:"mc_jobs"`
+	MCSpeedupJobs1         float64 `json:"mc_speedup_jobs1_vs_reference"`
+	MCSpeedupJobs          float64 `json:"mc_speedup_jobs_vs_reference"`
 
 	// Full Fig. 8b/9b-style aggregate: one global run queue across a VPP
 	// sweep, streaming aggregation, per-worker workspace reuse. BytesPerRun
@@ -101,7 +117,11 @@ func measure(runs, jobs int) (Snapshot, error) {
 	// Transient step cost: one full nominal-VPP activation per engine,
 	// repeated until the measurement is stable enough to quote.
 	var err error
-	snap.StepNSIncremental, err = stepCost(spice.SimulateActivation)
+	snap.StepNSAdaptive, err = stepCost(spice.SimulateActivation)
+	if err != nil {
+		return snap, err
+	}
+	snap.StepNSIncremental, err = stepCost(fixedGridActivation)
 	if err != nil {
 		return snap, err
 	}
@@ -110,8 +130,18 @@ func measure(runs, jobs int) (Snapshot, error) {
 		return snap, err
 	}
 	snap.StepSpeedup = ratio(snap.StepNSReference, snap.StepNSIncremental)
+	snap.StepSpeedupAdapt = ratio(snap.StepNSReference, snap.StepNSAdaptive)
+
+	snap.AdaptiveStepReduction, snap.AdaptiveQuiescentReduction, err = adaptiveReduction()
+	if err != nil {
+		return snap, err
+	}
 
 	ref, err := mcThroughput(spice.MCConfig{Runs: runs, Jobs: 1, Reference: true})
+	if err != nil {
+		return snap, err
+	}
+	snap.MCRunsPerSecJobs1Fixed, err = mcThroughput(spice.MCConfig{Runs: runs, Jobs: 1, FixedGrid: true})
 	if err != nil {
 		return snap, err
 	}
@@ -209,20 +239,50 @@ func mcAggregate(runs, jobs int) (runsPerSec, bytesPerRun float64, levels int, e
 	return total / elapsed, float64(after.TotalAlloc-before.TotalAlloc) / total, len(vpps), nil
 }
 
-// stepCost times activations until ~100ms has elapsed and returns ns/step.
+// fixedGridActivation is SimulateActivation pinned to the fixed 25 ps grid.
+func fixedGridActivation(p spice.CellParams, probe spice.Probe) (spice.ActivationResult, error) {
+	p.Adaptive = spice.AdaptiveConfig{}
+	return spice.SimulateActivation(p, probe)
+}
+
+// stepCost times activations until ~100ms has elapsed and returns wall ns
+// per base-grid cell covered (an adaptive engine covers cells with fewer
+// solves, so its figure reflects the step-count reduction).
 func stepCost(sim func(spice.CellParams, spice.Probe) (spice.ActivationResult, error)) (float64, error) {
 	p := spice.DefaultCellParams(2.5)
-	steps := 0
+	cells := 0
 	start := time.Now()
 	for time.Since(start) < 100*time.Millisecond {
-		if _, err := sim(p, func(_, _, _ float64) { steps++ }); err != nil {
+		res, err := sim(p, nil)
+		if err != nil {
 			return 0, err
 		}
+		cells += res.Steps.Cells
 	}
-	if steps == 0 {
+	if cells == 0 {
 		return 0, fmt.Errorf("no steps executed")
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(steps), nil
+	return float64(time.Since(start).Nanoseconds()) / float64(cells), nil
+}
+
+// adaptiveReduction aggregates the adaptive engine's step accounting over
+// the Fig. 8a/9a sweep: total solve reduction vs the fixed grid, and
+// cells-per-solve over the accepted coarse steps (the quiescent stretches).
+func adaptiveReduction() (overall, quiescent float64, err error) {
+	vpps := []float64{2.5, 2.4, 2.3, 2.2, 2.1, 2.0, 1.9, 1.8, 1.7}
+	var solves, cells, coarseCells, coarseSolves int
+	for _, vpp := range vpps {
+		res, err := spice.SimulateActivation(spice.DefaultCellParams(vpp), nil)
+		if err != nil {
+			return 0, 0, fmt.Errorf("adaptive sweep at %.1fV: %w", vpp, err)
+		}
+		solves += res.Steps.Solves
+		cells += res.Steps.Cells
+		coarseCells += res.Steps.CoarseCells
+		coarseSolves += res.Steps.CoarseSolves
+	}
+	return ratio(float64(cells), float64(solves)),
+		ratio(float64(coarseCells), float64(coarseSolves)), nil
 }
 
 // mcThroughput returns Monte-Carlo runs per second for the configuration.

@@ -29,7 +29,12 @@ func main() {
 	if *waveform {
 		fmt.Printf("# t(ns)  Vbitline(V)  Vcell(V)   [VPP=%.2fV]\n", *vpp)
 		step := 0
-		_, err := spice.SimulateActivation(spice.DefaultCellParams(*vpp), func(tNS, vbl, vcell float64) {
+		p := spice.DefaultCellParams(*vpp)
+		// The printed trace decimates assuming uniform 25 ps samples, so
+		// integrate the dense fixed grid (adaptive stepping probes only at
+		// accepted, non-uniformly spaced endpoints).
+		p.Adaptive = spice.AdaptiveConfig{}
+		_, err := spice.SimulateActivation(p, func(tNS, vbl, vcell float64) {
 			if step%20 == 0 {
 				fmt.Printf("%7.2f  %8.4f  %8.4f\n", tNS, vbl, vcell)
 			}

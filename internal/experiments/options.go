@@ -1,25 +1,3 @@
-// Package experiments contains one driver per table and figure of the
-// paper's evaluation, plus the ablation studies listed in DESIGN.md. Each
-// driver assembles a testbed per module, runs the core characterization
-// algorithms across the VPP sweep, and returns structured results together
-// with render helpers that emit the same rows/series the paper reports
-// through a report.Encoder.
-//
-// Study drivers accept a context.Context for cancellation and sweep the
-// selected modules with a bounded worker pool (Options.Jobs). Per-module
-// testbeds are fully independent and deterministically seeded, and results
-// are merged in catalog order, so output is identical at any worker count.
-//
-// Aggregation is streaming end to end: per-row and per-run measurements fold
-// into internal/stats accumulators (exact means, extremes, quantiles,
-// fractions) as they are produced, and per-module partials merge in catalog
-// order — never by concatenating retained sample slices. For grid-quantized
-// series (SPICE latencies on the integration grid, k/N bit error rates) the
-// exact-quantile state is bounded by the grid regardless of scale; for the
-// continuous ratio populations (normalized HC/BER, CVs) it is bounded by
-// the number of distinct samples — the configured row selection — with
-// stats.P2Summary available as the strictly-O(1) estimator if those
-// populations ever outgrow that.
 package experiments
 
 import (
@@ -62,6 +40,18 @@ type Options struct {
 	// (0 = one worker per CPU). Results are merged in catalog order, so
 	// any value produces byte-identical output.
 	Jobs int
+	// SpiceFixedGrid forces the SPICE Monte-Carlo onto the historical fixed
+	// 25 ps integration grid instead of adaptive error-controlled stepping.
+	// The default adaptive configuration reports crossings quantized onto
+	// the same grid with identical values, so this knob exists for A/B
+	// benchmarking, not correctness. Omitted from the canonical options
+	// encoding when default, so existing shard artifacts stay mergeable.
+	SpiceFixedGrid bool `json:",omitempty"`
+	// SpiceLTETolV overrides the adaptive engine's step-doubling error
+	// tolerance in volts (0 = spice.DefaultLTETolV). Values beyond the
+	// default loosen the fixed-grid-equivalence guarantee; see
+	// docs/ARCHITECTURE.md for the accuracy contract.
+	SpiceLTETolV float64 `json:",omitempty"`
 }
 
 // Default returns a laptop-scale campaign preserving the paper's structure.
@@ -109,6 +99,9 @@ func KnownModuleNames() []string {
 func (o Options) Validate() error {
 	if o.Jobs < 0 {
 		return fmt.Errorf("experiments: Jobs %d is negative (use 0 for one worker per CPU, or a positive worker count)", o.Jobs)
+	}
+	if o.SpiceLTETolV < 0 {
+		return fmt.Errorf("experiments: SpiceLTETolV %g is negative (use 0 for the engine default, or a positive tolerance in volts)", o.SpiceLTETolV)
 	}
 	_, err := o.profiles()
 	return err

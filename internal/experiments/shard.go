@@ -6,6 +6,7 @@
 // back in catalog/(level, run) order. Because the single-process drivers
 // already compute exactly these partials and merge them in the same order,
 // a sharded campaign reproduces the single-process output byte for byte.
+
 package experiments
 
 import (
@@ -95,6 +96,8 @@ func mcConfig(o Options) spice.MCConfig {
 		Seed:      o.Seed,
 		Variation: 0.05,
 		Jobs:      o.jobs(),
+		FixedGrid: o.SpiceFixedGrid,
+		LTETolV:   o.SpiceLTETolV,
 	}
 }
 

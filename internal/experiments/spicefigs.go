@@ -47,6 +47,11 @@ func RunWaveforms(ctx context.Context) (Waveforms, error) {
 		var ts, bl, cell []float64
 		p := spice.DefaultCellParams(vpp)
 		p.MaxNS = 100
+		// The rendered figures sample every cell of the fixed 25 ps grid;
+		// they are also the accuracy oracle the adaptive engine is pinned
+		// against, so this study always integrates densely (it is one cheap
+		// deterministic simulation per level).
+		p.Adaptive = spice.AdaptiveConfig{}
 		if _, err := spice.SimulateActivation(p, func(tNS, vbl, vcell float64) {
 			ts = append(ts, tNS)
 			bl = append(bl, vbl)
@@ -107,12 +112,7 @@ type MCStudy struct {
 // byte-identical at any worker count while aggregation memory stays
 // independent of the run count.
 func RunMCStudy(ctx context.Context, o Options) (MCStudy, error) {
-	results, err := spice.RunMonteCarloSweep(ctx, spiceSweepVPPs, spice.MCConfig{
-		Runs:      o.SpiceMCRuns,
-		Seed:      o.Seed,
-		Variation: 0.05,
-		Jobs:      o.jobs(),
-	})
+	results, err := spice.RunMonteCarloSweep(ctx, spiceSweepVPPs, mcConfig(o))
 	if err != nil {
 		return MCStudy{}, fmt.Errorf("Monte Carlo sweep: %w", err)
 	}

@@ -1,0 +1,23 @@
+// Package pool provides the bounded worker pool shared by the experiment
+// drivers (module sweeps) and the SPICE Monte-Carlo campaign.
+//
+// # Ordering invariants
+//
+// Both entry points guarantee that the worker count can never change what a
+// caller observes — the property the repository's byte-identical-output
+// guarantee rests on:
+//
+//   - Run maps fn over items with at most jobs workers; results land at the
+//     index of their item, so the returned slice has the same stable order
+//     at any concurrency. The first failure cancels the remaining work.
+//   - RunOrdered additionally DELIVERS results in strict index order
+//     through a bounded reorder window (O(jobs) results in flight), so a
+//     streaming fold downstream sees sample i before sample i+1 regardless
+//     of which worker finished first. Floating-point accumulation order —
+//     and therefore the exact bits of folded means — is fixed by the index
+//     order, not by scheduling.
+//
+// With jobs <= 1 both degenerate to a plain serial loop on the calling
+// goroutine, which is bit-identical to the parallel path by the invariants
+// above.
+package pool

@@ -1,8 +1,3 @@
-// Package pool provides the bounded worker pool shared by the experiment
-// drivers (module sweeps) and the SPICE Monte-Carlo campaign. Results land
-// at the index of their item, so callers observe the same stable order
-// regardless of the worker count — the property the repository's
-// byte-identical-output guarantee rests on.
 package pool
 
 import (

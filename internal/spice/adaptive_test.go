@@ -1,0 +1,210 @@
+package spice
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/rng"
+)
+
+// fixedGrid returns p with adaptive stepping disabled.
+func fixedGrid(p CellParams) CellParams {
+	p.Adaptive = AdaptiveConfig{}
+	return p
+}
+
+// TestAdaptiveCrossingsMatchFixedGrid is the crossing-quantization property
+// test: every measurement the adaptive engine reports — the tRCDmin and
+// tRASmin threshold crossings quantized onto the 25 ps grid, and the
+// reliable/restored classifications — must be IDENTICAL (bit-for-bit, not
+// approximately) to the fixed-grid measurement, both on the Fig. 8a/9a
+// waveforms at every sweep VPP and on the golden campaign's Monte-Carlo
+// population (seed 2022, ±5% variation). This is the property the campaign
+// goldens' byte-identity rests on: identical crossing floats mean the exact
+// streaming quantiles in internal/stats see the same multiset either way.
+func TestAdaptiveCrossingsMatchFixedGrid(t *testing.T) {
+	for _, vpp := range goldenSweepVPPs {
+		p := DefaultCellParams(vpp)
+		fast, err := SimulateActivation(p, nil)
+		if err != nil {
+			t.Fatalf("vpp=%v: adaptive: %v", vpp, err)
+		}
+		fixed, err := SimulateActivation(fixedGrid(p), nil)
+		if err != nil {
+			t.Fatalf("vpp=%v: fixed: %v", vpp, err)
+		}
+		assertSameMeasurement(t, fmt.Sprintf("vpp=%v", vpp), fast, fixed)
+	}
+
+	if testing.Short() {
+		t.Skip("golden-population crossings in -short mode")
+	}
+	const runs = 24 // the golden campaign's per-level population
+	for _, vpp := range goldenSweepVPPs {
+		root := rng.New(2022).Derive("spice-mc", fmt.Sprintf("%.2f", vpp))
+		for i := 0; i < runs; i++ {
+			p := Vary(DefaultCellParams(vpp), root.Derive("run", i), 0.05)
+			fast, errA := SimulateActivation(p, nil)
+			fixed, errF := SimulateActivation(fixedGrid(p), nil)
+			if (errA == nil) != (errF == nil) {
+				t.Fatalf("vpp=%v run %d: error divergence: adaptive %v, fixed %v", vpp, i, errA, errF)
+			}
+			if errA != nil {
+				continue // both diverged: same Unreliable/Unrestored classification
+			}
+			assertSameMeasurement(t, fmt.Sprintf("vpp=%v run %d", vpp, i), fast, fixed)
+		}
+	}
+}
+
+func assertSameMeasurement(t *testing.T, at string, a, b ActivationResult) {
+	t.Helper()
+	if a.TRCDminNS != b.TRCDminNS || a.TRASminNS != b.TRASminNS ||
+		a.Reliable != b.Reliable || a.Restored != b.Restored {
+		t.Errorf("%s: adaptive measurements diverge from fixed grid:\nadaptive %+v\nfixed    %+v", at, a, b)
+	}
+}
+
+// TestAdaptiveMatchesReference pins the adaptive engine's accuracy contract
+// against the dense finite-difference reference: every sample the adaptive
+// run emits lands on a base-grid instant whose time is bit-identical to a
+// reference sample time, with voltages within AccuracyTolV.
+func TestAdaptiveMatchesReference(t *testing.T) {
+	for _, vpp := range goldenSweepVPPs {
+		p := DefaultCellParams(vpp)
+		refBL := make(map[float64]float64)
+		refCell := make(map[float64]float64)
+		if _, err := SimulateActivationReference(p, func(tNS, vbl, vcell float64) {
+			refBL[tNS] = vbl
+			refCell[tNS] = vcell
+		}); err != nil {
+			t.Fatalf("vpp=%v: reference: %v", vpp, err)
+		}
+		samples, offGrid := 0, 0
+		worst := 0.0
+		if _, err := SimulateActivation(p, func(tNS, vbl, vcell float64) {
+			samples++
+			wb, ok := refBL[tNS]
+			if !ok {
+				offGrid++
+				return
+			}
+			worst = math.Max(worst, math.Abs(wb-vbl))
+			worst = math.Max(worst, math.Abs(refCell[tNS]-vcell))
+		}); err != nil {
+			t.Fatalf("vpp=%v: adaptive: %v", vpp, err)
+		}
+		if samples == 0 {
+			t.Fatalf("vpp=%v: adaptive run emitted no samples", vpp)
+		}
+		if offGrid > 0 {
+			t.Errorf("vpp=%v: %d of %d adaptive sample times missing from the reference grid — grid clock drift", vpp, offGrid, samples)
+		}
+		if worst > AccuracyTolV {
+			t.Errorf("vpp=%v: adaptive deviates %.3g V from the dense reference, contract is %.3g", vpp, worst, AccuracyTolV)
+		}
+	}
+}
+
+// TestAdaptiveStepReduction is the speedup acceptance criterion: across the
+// Fig. 8a/9a sweep, the quiescent stretches (the cells covered by accepted
+// coarse steps) must take at least 3x fewer implicit solves than base cells
+// covered, and the whole sweep must take fewer solves than the fixed grid.
+func TestAdaptiveStepReduction(t *testing.T) {
+	var coarseCells, coarseSolves, solves, fixedSolves int
+	for _, vpp := range goldenSweepVPPs {
+		p := DefaultCellParams(vpp)
+		fast, err := SimulateActivation(p, nil)
+		if err != nil {
+			t.Fatalf("vpp=%v: adaptive: %v", vpp, err)
+		}
+		fixed, err := SimulateActivation(fixedGrid(p), nil)
+		if err != nil {
+			t.Fatalf("vpp=%v: fixed: %v", vpp, err)
+		}
+		coarseCells += fast.Steps.CoarseCells
+		coarseSolves += fast.Steps.CoarseSolves
+		solves += fast.Steps.Solves
+		fixedSolves += fixed.Steps.Solves
+		if fast.Steps.Cells != fixed.Steps.Cells {
+			t.Errorf("vpp=%v: adaptive covered %d cells, fixed %d", vpp, fast.Steps.Cells, fixed.Steps.Cells)
+		}
+	}
+	if coarseSolves == 0 {
+		t.Fatal("no coarse steps accepted anywhere in the sweep")
+	}
+	if red := float64(coarseCells) / float64(coarseSolves); red < 3 {
+		t.Errorf("quiescent step reduction %.2fx, acceptance floor is 3x", red)
+	}
+	if solves >= fixedSolves {
+		t.Errorf("adaptive sweep used %d solves, fixed grid %d — no overall win", solves, fixedSolves)
+	}
+}
+
+// TestAdaptiveDisabledByStepCap pins the documented MaxStepPS semantics: a
+// cap below twice the base step leaves no legal coarse size, so the run
+// must cover the grid cell-for-cell with one solve each, like the fixed
+// loop.
+func TestAdaptiveDisabledByStepCap(t *testing.T) {
+	p := DefaultCellParams(2.0)
+	p.Adaptive.MaxStepPS = p.StepPS // < 2*StepPS: coarsening impossible
+	got, err := SimulateActivation(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Steps.CoarseCells != 0 || got.Steps.Solves != got.Steps.Cells {
+		t.Errorf("capped run still coarsened: %+v", got.Steps)
+	}
+	fixed, err := SimulateActivation(fixedGrid(p), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMeasurement(t, "capped", got, fixed)
+}
+
+// TestAdaptiveConfigValidation rejects malformed tolerances before they
+// reach the engine.
+func TestAdaptiveConfigValidation(t *testing.T) {
+	for _, mutate := range []func(*CellParams){
+		func(p *CellParams) { p.Adaptive.LTETolV = -1 },
+		func(p *CellParams) { p.Adaptive.MaxStepPS = -1 },
+		func(p *CellParams) { p.Adaptive.ActivityTolV = -1 },
+	} {
+		p := DefaultCellParams(2.5)
+		mutate(&p)
+		if _, err := SimulateActivation(p, nil); err == nil {
+			t.Errorf("negative adaptive tolerance accepted: %+v", p.Adaptive)
+		}
+	}
+}
+
+// TestMonteCarloFixedGridEquivalence ties the engine-level property to the
+// campaign aggregates: a Monte-Carlo campaign run adaptively must produce
+// MCResults deep-equal to the FixedGrid campaign — same crossing multisets,
+// same classifications — which is what keeps shard artifacts and campaign
+// goldens byte-stable under the default config.
+func TestMonteCarloFixedGridEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo is slow")
+	}
+	ctx := context.Background()
+	for _, vpp := range []float64{2.3, 1.9} {
+		base := MCConfig{VPP: vpp, Runs: 16, Seed: 2022, Variation: 0.05, Jobs: 4}
+		adaptive, err := RunMonteCarlo(ctx, base)
+		if err != nil {
+			t.Fatalf("vpp=%v adaptive: %v", vpp, err)
+		}
+		cfg := base
+		cfg.FixedGrid = true
+		fixed, err := RunMonteCarlo(ctx, cfg)
+		if err != nil {
+			t.Fatalf("vpp=%v fixed: %v", vpp, err)
+		}
+		if !reflect.DeepEqual(adaptive, fixed) {
+			t.Errorf("vpp=%v: adaptive and fixed-grid campaigns diverge:\n%+v\n%+v", vpp, adaptive, fixed)
+		}
+	}
+}

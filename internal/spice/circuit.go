@@ -1,14 +1,3 @@
-// Package spice implements a compact SPICE-class transient circuit
-// simulator: modified nodal analysis (MNA) with backward-Euler integration
-// and Newton-Raphson iteration over level-1 MOSFET models. It exists to
-// reproduce the paper's circuit-level study (§4.5, Figs. 8 and 9): the DRAM
-// cell / bitline / sense-amplifier netlist of Table 2, simulated across VPP
-// levels with Monte-Carlo parameter variation.
-//
-// The engine is general: circuits are built from resistors, capacitors,
-// piecewise-linear voltage sources, and MOSFETs, then integrated with fixed
-// time steps. Only the features the paper's study needs are implemented —
-// no AC analysis, no higher-order integration.
 package spice
 
 import (

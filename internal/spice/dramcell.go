@@ -35,8 +35,18 @@ type CellParams struct {
 	// level the access transistor permits).
 	RestoreFrac float64
 
-	StepPS float64 // integration time step
+	StepPS float64 // base integration time step (the 25 ps measurement grid)
 	MaxNS  float64 // simulation horizon
+
+	// Adaptive configures error-controlled step coarsening through the
+	// quiescent stretches of the activation (see AdaptiveConfig). The zero
+	// value integrates every cell of the fixed StepPS grid, the historical
+	// behavior; DefaultCellParams enables adaptive stepping with defaults.
+	// Either way, measurements are reported on the StepPS grid: adaptive
+	// runs quantize threshold crossings back onto it (bit-identical to the
+	// fixed-grid crossing), so downstream exact-quantile statistics and
+	// shard merges never see off-grid values.
+	Adaptive AdaptiveConfig
 }
 
 // DefaultCellParams returns the Table 2 netlist at the given VPP, with
@@ -66,6 +76,7 @@ func DefaultCellParams(vpp float64) CellParams {
 		RestoreFrac:   0.95,
 		StepPS:        25,
 		MaxNS:         120,
+		Adaptive:      DefaultAdaptive(),
 	}
 }
 
@@ -90,6 +101,10 @@ type ActivationResult struct {
 	Restored bool
 	// FinalCellV is the cell voltage at the simulation horizon.
 	FinalCellV float64
+	// Steps reports the integration work the run performed (base cells
+	// covered vs implicit solves spent — equal on the fixed grid, solves
+	// several-fold fewer under adaptive stepping).
+	Steps StepStats
 }
 
 // Probe receives waveform samples during simulation.
@@ -106,7 +121,9 @@ func SimulateActivation(p CellParams, probe Probe) (ActivationResult, error) {
 // SimulateActivationReference runs the same activation on the dense
 // finite-difference reference engine (see NewTransientReference). It exists
 // so the golden-equivalence tests and benchmarks can compare the
-// incremental solver against the historical behavior.
+// incremental solver against the historical behavior. The reference always
+// integrates the full fixed StepPS grid — it is the accuracy oracle the
+// adaptive engine is validated against, so it never steps adaptively.
 func SimulateActivationReference(p CellParams, probe Probe) (ActivationResult, error) {
 	return simulateActivation(p, probe, NewTransientReference)
 }
@@ -213,8 +230,14 @@ func stampCellValues(ckt *Circuit, n cellNodes, w cellWaves, p CellParams) {
 
 // measureActivation steps the prepared engine through the activation and
 // extracts the tRCDmin / tRASmin measurements. Both the one-shot paths and
-// the reusable Workspace run exactly this loop.
+// the reusable Workspace run exactly this loop; with adaptive stepping
+// enabled (and the incremental engine backing the analysis — the dense
+// reference always integrates the full fixed grid it is the oracle for),
+// the same measurements are driven through the error-controlled stepper.
 func measureActivation(tr *Transient, n cellNodes, p CellParams, probe Probe) (ActivationResult, error) {
+	if p.Adaptive.Enabled && tr.red != nil {
+		return measureActivationAdaptive(tr, n, p, probe)
+	}
 	var res ActivationResult
 	ns := 1e-9
 	vth := p.VTHFrac * p.VDD
@@ -230,6 +253,8 @@ func measureActivation(tr *Transient, n cellNodes, p CellParams, probe Probe) (A
 		if err := tr.Step(); err != nil {
 			return res, err
 		}
+		res.Steps.Cells++
+		res.Steps.Solves++
 		tNS := tr.Time() / ns
 		vbl := tr.V(n.bls)
 		vcell := tr.V(n.cellC)
@@ -258,6 +283,69 @@ func measureActivation(tr *Transient, n cellNodes, p CellParams, probe Probe) (A
 	return res, nil
 }
 
+// measureActivationAdaptive runs the same measurement over the
+// error-controlled stepper. Samples land on accepted step endpoints (always
+// base-grid cells, non-uniformly spaced); a threshold crossing observed at a
+// coarse endpoint is rewound and re-integrated cell by cell, so the
+// reported crossing times are the fixed grid's own — bit-identical floats,
+// because the stepper's grid clock replays the fixed loop's repeated time
+// addition.
+func measureActivationAdaptive(tr *Transient, n cellNodes, p CellParams, probe Probe) (ActivationResult, error) {
+	var res ActivationResult
+	ns := 1e-9
+	vth := p.VTHFrac * p.VDD
+	vcell0 := p.SaturationV()
+	target := math.Min(p.RestoreFrac*p.VDD, vcell0-0.05)
+	minCell := vcell0
+	dipped := false
+	horizon := p.MaxNS * ns
+
+	st := tr.newAdaptiveStepper(p.Adaptive, horizon)
+	for st.tGrid < horizon {
+		m, err := st.step()
+		if err != nil {
+			res.Steps = st.stats
+			return res, err
+		}
+		tNS := st.tGrid / ns
+		vbl := tr.V(n.bls)
+		vcell := tr.V(n.cellC)
+		if m > 1 {
+			// Crossings must be localized on the base grid, not attributed
+			// to a coarse endpoint: rewind and re-integrate the stretch.
+			crossedRead := !res.Reliable && vbl >= vth
+			crossedRestore := dipped && !res.Restored && vcell >= target && vcell > minCell+0.01
+			if crossedRead || crossedRestore {
+				st.rewind()
+				continue
+			}
+		}
+		if probe != nil {
+			probe(tNS, vbl, vcell)
+		}
+		if !res.Reliable && vbl >= vth {
+			res.Reliable = true
+			res.TRCDminNS = tNS
+		}
+		if vcell < minCell {
+			minCell = vcell
+			if vcell < vcell0-0.02 {
+				dipped = true
+			}
+		}
+		if dipped && !res.Restored && vcell >= target && vcell > minCell+0.01 {
+			res.Restored = true
+			res.TRASminNS = tNS
+		}
+		res.FinalCellV = vcell
+		if res.Reliable && res.Restored {
+			break
+		}
+	}
+	res.Steps = st.stats
+	return res, nil
+}
+
 func simulateActivation(p CellParams, probe Probe, newEngine func(*Circuit, float64) *Transient) (ActivationResult, error) {
 	if err := p.validate(); err != nil {
 		return ActivationResult{}, err
@@ -271,6 +359,9 @@ func simulateActivation(p CellParams, probe Probe, newEngine func(*Circuit, floa
 func (p CellParams) validate() error {
 	if p.VDD <= 0 || p.VPP <= 0 || p.StepPS <= 0 {
 		return errors.New("spice: invalid cell parameters")
+	}
+	if p.Adaptive.LTETolV < 0 || p.Adaptive.MaxStepPS < 0 || p.Adaptive.ActivityTolV < 0 {
+		return errors.New("spice: negative adaptive stepping tolerance")
 	}
 	return nil
 }

@@ -24,9 +24,10 @@ import "fmt"
 // through NewTransientReference as the golden cross-check the equivalence
 // tests and benchmarks compare against.
 type Transient struct {
-	ckt *Circuit
-	dt  float64
-	t   float64
+	ckt    *Circuit
+	dt     float64 // current integration step (adaptive stepping varies it)
+	baseDt float64 // the step the analysis was constructed with
+	t      float64
 
 	nv  int       // voltage unknowns (nodes minus ground)
 	dim int       // nv + number of voltage sources
@@ -39,6 +40,11 @@ type Transient struct {
 	a    []float64 // scratch matrix
 	z    []float64 // scratch RHS
 	newt []float64 // scratch iterate
+
+	// ad holds the adaptive stepper's reusable scratch (snapshots, trial
+	// vectors). Allocated on first adaptive use and kept across Reset, so a
+	// reused Workspace performs no steady-state allocations per run.
+	ad *adaptiveScratch
 }
 
 // Newton-iteration controls.
@@ -74,7 +80,7 @@ func newTransient(c *Circuit, dt float64) *Transient {
 	nv := c.NumNodes() - 1
 	dim := nv + len(c.sources)
 	tr := &Transient{
-		ckt: c, dt: dt,
+		ckt: c, dt: dt, baseDt: dt,
 		nv: nv, dim: dim,
 		v:    make([]float64, nv),
 		x:    make([]float64, dim),
@@ -102,6 +108,7 @@ func (tr *Transient) Time() float64 { return tr.t }
 // freshly constructed Transient over the same circuit.
 func (tr *Transient) Reset() {
 	tr.t = 0
+	tr.dt = tr.baseDt
 	for i := range tr.v {
 		tr.v[i] = 0
 	}
@@ -133,6 +140,73 @@ func (tr *Transient) vPrev(node int) float64 {
 		return 0
 	}
 	return tr.v[node-1]
+}
+
+// setDt switches the integration step size. Capacitor companion
+// conductances are C/dt, so the reduced engine's static stamps are rebuilt;
+// the Newton history survives, only the extrapolating predictor resets.
+func (tr *Transient) setDt(dt float64) {
+	if dt == tr.dt {
+		return
+	}
+	tr.dt = dt
+	if tr.red != nil {
+		tr.red.setDt(tr.ckt, dt)
+	}
+}
+
+// engineState is a rewindable snapshot of the integration state: everything
+// a Step reads besides the circuit itself. save/load let the adaptive
+// stepper attempt a trial step and retract it on an error-estimate or
+// Newton failure.
+type engineState struct {
+	t, dt float64
+	steps int
+	v     []float64 // node voltages
+	// Reduced-engine Newton history (nil when running the dense reference).
+	xPrev, xPrev2 []float64
+	// Dense-engine solution vector (nil on the incremental path).
+	x []float64
+}
+
+// newState allocates a snapshot sized for this analysis.
+func (tr *Transient) newState() *engineState {
+	s := &engineState{v: make([]float64, tr.nv)}
+	if tr.red != nil {
+		s.xPrev = make([]float64, tr.red.ku)
+		s.xPrev2 = make([]float64, tr.red.ku)
+	} else {
+		s.x = make([]float64, tr.dim)
+	}
+	return s
+}
+
+// save captures the current integration state into s.
+func (tr *Transient) save(s *engineState) {
+	s.t, s.dt = tr.t, tr.dt
+	copy(s.v, tr.v)
+	if tr.red != nil {
+		s.steps = tr.red.steps
+		copy(s.xPrev, tr.red.xPrev)
+		copy(s.xPrev2, tr.red.xPrev2)
+	} else {
+		copy(s.x, tr.x)
+	}
+}
+
+// load restores a previously saved integration state, re-stamping if the
+// step size differs.
+func (tr *Transient) load(s *engineState) {
+	tr.t = s.t
+	tr.setDt(s.dt)
+	copy(tr.v, s.v)
+	if tr.red != nil {
+		tr.red.steps = s.steps
+		copy(tr.red.xPrev, s.xPrev)
+		copy(tr.red.xPrev2, s.xPrev2)
+	} else {
+		copy(tr.x, s.x)
+	}
 }
 
 // Step advances the simulation by one time step.
@@ -252,6 +326,17 @@ func newReduced(c *Circuit, nv int, dt float64, v []float64) *reduced {
 // identical assembly order both times so a reused engine is bit-identical
 // to a fresh one.
 func (r *reduced) restamp(c *Circuit, dt float64, v []float64) {
+	r.stampStatics(c, dt)
+	r.steps = 0
+	for i, n := range r.nodes {
+		r.xPrev[i] = v[n-1]
+		r.xPrev2[i] = 0
+	}
+}
+
+// stampStatics rebuilds the stamps that depend only on element values and
+// the step size — not on the Newton history — in fixed assembly order.
+func (r *reduced) stampStatics(c *Circuit, dt float64) {
 	ku := r.ku
 	for i := range r.gStatic {
 		r.gStatic[i] = 0
@@ -268,10 +353,16 @@ func (r *reduced) restamp(c *Circuit, dt float64, v []float64) {
 	for _, cap := range c.caps {
 		r.stampStatic(cap.a, cap.b, cap.farads/dt)
 	}
-	r.steps = 0
-	for i, n := range r.nodes {
-		r.xPrev[i] = v[n-1]
-		r.xPrev2[i] = 0
+}
+
+// setDt re-stamps the static system for a new step size, preserving the
+// Newton history. The linear predictor's slope assumes two equally-sized
+// completed steps, so the step counter is capped to fall back to the
+// previous-solution initial guess until two steps at the new size complete.
+func (r *reduced) setDt(c *Circuit, dt float64) {
+	r.stampStatics(c, dt)
+	if r.steps > 1 {
+		r.steps = 1
 	}
 }
 

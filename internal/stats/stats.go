@@ -1,18 +1,3 @@
-// Package stats provides the statistical primitives used by the
-// characterization methodology and the experiment drivers: summary statistics
-// (mean, standard deviation, coefficient of variation), order statistics
-// (percentiles, confidence intervals), and binned population densities for
-// the paper's population-distribution figures (Figs. 4, 6, 8b, 9b, 10b).
-//
-// Two layers share one vocabulary: the batch helpers in this file operate on
-// whole []float64 samples (and serve as the accuracy oracles in the tests),
-// while the streaming accumulators in stream.go fold samples one at a time
-// with memory independent of the sample count — the form the campaign
-// aggregation pipeline uses so run counts stop bounding memory. See
-// stream.go for the batch-vs-streaming accuracy contract.
-//
-// All functions are pure and operate on copies where mutation would otherwise
-// leak to the caller.
 package stats
 
 import (

@@ -1,37 +1,3 @@
-// Package rhvpp is a full-system reproduction of "Understanding RowHammer
-// Under Reduced Wordline Voltage: An Experimental Study Using Real DRAM
-// Devices" (DSN 2022) as a Go library.
-//
-// The physical study cannot run without 272 DDR4 chips, an FPGA, and a lab
-// power supply; this package substitutes a behavioral DDR4 device simulator
-// calibrated against every number the paper publishes (see DESIGN.md), a
-// SoftMC-class memory controller, the bench instruments around them, and a
-// SPICE-class circuit simulator for the paper's Figs. 8-9 — and then runs
-// the paper's own characterization algorithms on top.
-//
-// Two entry points cover most uses:
-//
-//   - Lab gives interactive access to a single simulated module: sweep VPP,
-//     hammer rows, measure HCfirst / BER / tRCDmin / retention, exactly as
-//     the paper's Algorithms 1-3 do.
-//   - Campaign is one characterization session over the tested population,
-//     mirroring how the paper's evaluation works: a handful of underlying
-//     studies (the RowHammer sweep, the tRCD sweep, the retention ladder,
-//     the SPICE waveform and Monte-Carlo campaigns, the word-granularity
-//     analysis) each run once — concurrently across modules, cancellable
-//     via context — and every table and figure renders from those shared
-//     results through a pluggable text/JSON/CSV encoder.
-//
-// A minimal session:
-//
-//	c, err := rhvpp.NewCampaign(rhvpp.DefaultOptions())   // validates Options
-//	enc, err := rhvpp.NewEncoder(rhvpp.FormatJSON, os.Stdout)
-//	for _, e := range rhvpp.Experiments() {
-//		if err := c.Run(ctx, e.ID, enc); err != nil { ... }
-//	}
-//
-// RunExperiment remains as a one-shot convenience wrapper over a throwaway
-// Campaign for callers that only need a single table or figure.
 package rhvpp
 
 import (

@@ -1,0 +1,218 @@
+// Command detlint runs the rhvpp determinism and shard-safety analyzer
+// suite (internal/analysis/...) over Go package patterns:
+//
+//	go run ./cmd/detlint ./...          # human-readable, exit 1 on findings
+//	go run ./cmd/detlint -json ./...    # machine-readable diagnostics
+//
+// The driver is self-contained so it works offline: package metadata and
+// compiler export data come from `go list -deps -export -json`, source is
+// parsed and type-checked in-process, and the analyzers run through the
+// same execution core as their analysistest fixtures. Suppressions use
+// //detlint:ignore <analyzer> <reason> (see internal/analysis/detlint).
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/detlint"
+	"github.com/dramstudy/rhvpp/internal/analysis/suite"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	for _, a := range suite.All() {
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			flag.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+		})
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s: [%s] %s\n", relPos(f.Pos), f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// listedPkg is the subset of `go list -json` output the driver consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// lint loads the packages matching patterns (relative to dir) and runs
+// the full analyzer suite over every non-dependency, non-test package.
+func lint(dir string, patterns []string) ([]detlint.Finding, error) {
+	pkgs, err := load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	var targets []listedPkg
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	// Stable + keyed on the unique ImportPath: deterministic report order.
+	sort.SliceStable(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (not in the `go list -deps -export` cone)", path)
+		}
+		return os.Open(file)
+	})
+
+	var findings []detlint.Finding
+	analyzers := suite.All()
+	for _, target := range targets {
+		if len(target.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s uses cgo, which this driver cannot type-check", target.ImportPath)
+		}
+		pkgFindings, err := lintPackage(fset, imp, target, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, pkgFindings...)
+	}
+	return findings, nil
+}
+
+// lintPackage parses, type-checks and analyzes one package.
+func lintPackage(fset *token.FileSet, imp types.Importer, target listedPkg, analyzers []*analysis.Analyzer) ([]detlint.Finding, error) {
+	files := make([]*ast.File, 0, len(target.GoFiles))
+	for _, name := range target.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(target.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := detlint.NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(target.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", target.ImportPath, err)
+	}
+	return detlint.RunAnalyzers(&detlint.Package{Fset: fset, Files: files, Types: tpkg, Info: info}, analyzers)
+}
+
+// load shells out to `go list` for package metadata plus export data for
+// the full dependency cone (stdlib included), so type-checking never
+// needs the network.
+func load(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Export,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// jsonFinding is the machine-readable diagnostic record for -json.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits findings as an indented JSON array (always an array,
+// [] when clean) so downstream tooling can consume diagnostics without
+// scraping text.
+func writeJSON(w io.Writer, findings []detlint.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     relPath(f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// relPos renders a position with a cwd-relative file path.
+func relPos(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", relPath(p.Filename), p.Line, p.Column)
+}
+
+func relPath(name string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return name
+	}
+	if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/detlint"
+)
+
+// writeModule materializes a throwaway Go module under a temp dir so the
+// driver's go-list/export-data pipeline runs against a hermetic target.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLintSyntheticModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/fixmod\n\ngo 1.24\n",
+		// dirty: one detsource hit (wall clock) and one maporder hit
+		// (map-order append never sorted).
+		"dirty/dirty.go": `package dirty
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Collect(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+`,
+		// clean: same shapes done right.
+		"clean/clean.go": `package clean
+
+import "sort"
+
+func Collect(m map[string]int) []int {
+	out := make([]int, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+`,
+	})
+
+	findings, err := lint(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Analyzer+":"+filepath.Base(f.Pos.Filename))
+	}
+	want := []string{"detsource:dirty.go", "maporder:dirty.go"}
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want analyzers %v", got, want)
+	}
+	// RunAnalyzers sorts by position then analyzer; both hits are in
+	// dirty.go with detsource (line 5) before maporder (line 10).
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	for _, f := range findings {
+		if strings.Contains(f.Pos.Filename, "clean") {
+			t.Errorf("clean package flagged: %+v", f)
+		}
+	}
+}
+
+func TestLintHonorsSuppression(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/supmod\n\ngo 1.24\n",
+		"a/a.go": `package a
+
+import "time"
+
+//detlint:ignore detsource this package brokers real timestamps by design
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	})
+	findings, err := lint(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("suppressed module still has findings: %+v", findings)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty findings encode as %q, want []", got)
+	}
+
+	buf.Reset()
+	in := []detlint.Finding{{Analyzer: "maporder", Message: "boom"}}
+	in[0].Pos.Filename = "x.go"
+	in[0].Pos.Line = 3
+	in[0].Pos.Column = 7
+	if err := writeJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 1 || out[0].Analyzer != "maporder" || out[0].Line != 3 || out[0].Column != 7 || out[0].Message != "boom" {
+		t.Errorf("round-trip mismatch: %+v", out)
+	}
+}

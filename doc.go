@@ -53,4 +53,8 @@
 // Campaigns can be split across processes or hosts with Plan / ShardUnits /
 // RunShard / MergeArtifacts (the Runner seam); see README.md for the CLI
 // workflow.
+//
+// The coding invariants behind the byte-identical guarantee are catalogued
+// in docs/DETERMINISM.md and enforced statically by the internal/analysis
+// suite: `go run ./cmd/detlint ./...`.
 package rhvpp

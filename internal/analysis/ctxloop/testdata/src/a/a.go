@@ -1,0 +1,121 @@
+// Package a exercises the ctxloop analyzer: loops that can never observe
+// cancellation are flagged; consulting or forwarding ctx is clean.
+package a
+
+import "context"
+
+func work(item int) int { return item * 2 }
+
+func workCtx(ctx context.Context, item int) int { return item }
+
+// SpinForever can never be cancelled.
+func SpinForever(ctx context.Context, items []int) {
+	total := 0
+	for { // want `unbounded loop in a context-taking function never consults the context`
+		total += work(total)
+	}
+}
+
+// WhileStyle is the same hazard in while form. The ctx is consulted
+// before the loop, which does not help once the loop is entered.
+func WhileStyle(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	total := 0
+	for total < n { // want `unbounded loop in a context-taking function never consults the context`
+		total += work(total)
+	}
+	return total
+}
+
+// PollingLoop consults ctx every iteration: clean.
+func PollingLoop(ctx context.Context, n int) int {
+	total := 0
+	for total < n {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += work(total)
+	}
+	return total
+}
+
+// DroppedCtx receives a context and ignores it while sweeping items.
+func DroppedCtx(ctx context.Context, items []int) int {
+	total := 0
+	for _, it := range items { // want `function receives a context it never consults or forwards`
+		total += work(it)
+	}
+	return total
+}
+
+// BlankCtx cannot consult its context at all; the work loop is flagged.
+func BlankCtx(_ context.Context, items []int) int {
+	total := 0
+	for _, it := range items { // want `function receives a context it never consults or forwards`
+		total += work(it)
+	}
+	return total
+}
+
+// ForwardsPerItem passes ctx to the per-item work: clean.
+func ForwardsPerItem(ctx context.Context, items []int) int {
+	total := 0
+	for _, it := range items {
+		total += workCtx(ctx, it)
+	}
+	return total
+}
+
+// BindsBeforeLoop forwards ctx into a helper before the loop (the
+// tester.WithContext idiom): clean.
+func BindsBeforeLoop(ctx context.Context, items []int) int {
+	stop := workCtx(ctx, 0)
+	total := 0
+	for _, it := range items {
+		total += work(it + stop)
+	}
+	return total
+}
+
+// ChecksErrInLoop consults ctx.Err() each iteration: clean.
+func ChecksErrInLoop(ctx context.Context, items []int) int {
+	total := 0
+	for _, it := range items {
+		if ctx.Err() != nil {
+			break
+		}
+		total += work(it)
+	}
+	return total
+}
+
+// NoCtx takes no context: out of scope.
+func NoCtx(items []int) int {
+	total := 0
+	for _, it := range items {
+		total += work(it)
+	}
+	return total
+}
+
+// BoundedNoWork loops without calls (pure folds are cheap): clean.
+func BoundedNoWork(ctx context.Context, items []int) int {
+	_ = workCtx(ctx, 0)
+	total := 0
+	for _, it := range items {
+		total += it
+	}
+	return total
+}
+
+// DrainChannel ranges over a channel: the producer owns termination.
+func DrainChannel(ctx context.Context, ch <-chan int) int {
+	_ = workCtx(ctx, 0)
+	total := 0
+	for it := range ch {
+		total += work(it)
+	}
+	return total
+}

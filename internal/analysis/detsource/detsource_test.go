@@ -1,0 +1,12 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/analysistest"
+	"github.com/dramstudy/rhvpp/internal/analysis/detsource"
+)
+
+func TestDetSource(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detsource.Analyzer, "a", "internal/rng")
+}

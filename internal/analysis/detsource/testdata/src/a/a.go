@@ -1,0 +1,46 @@
+// Package a exercises the detsource analyzer: banned imports and
+// wall-clock/process-identity calls are flagged; deterministic time
+// arithmetic is clean.
+package a
+
+import (
+	"math/rand" // want `import of math/rand in a deterministic package`
+	"os"
+	"time"
+)
+
+// Roll uses the per-process global generator.
+func Roll() float64 {
+	return rand.Float64()
+}
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now is wall clock and breaks byte-identical reruns`
+}
+
+// Elapsed measures wall-clock durations.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since is wall clock`
+}
+
+// Pid keys output on process identity.
+func Pid() int {
+	return os.Getpid() // want `os\.Getpid is process identity`
+}
+
+// DurationMath is deterministic time arithmetic: clean.
+func DurationMath(d time.Duration) time.Duration {
+	return 2*d + 5*time.Millisecond
+}
+
+// FileUse keeps the os import legitimate: clean.
+func FileUse() string {
+	return os.TempDir()
+}
+
+// Suppressed is a sanctioned wall-clock site with a reasoned directive.
+func Suppressed() time.Duration {
+	start := time.Now()      //detlint:ignore detsource wall-clock benchmark harness timing
+	return time.Since(start) //detlint:ignore detsource wall-clock benchmark harness timing
+}

@@ -1,0 +1,11 @@
+// Package rng stands in for the sanctioned randomness source: its package
+// path matches the analyzer's allowlist, so even wall-clock reads inside
+// it are not reported.
+package rng
+
+import "time"
+
+// Bootstrap may read the wall clock: the package is allowlisted.
+func Bootstrap() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,236 @@
+// Package maporder defines an analyzer that flags order-dependent
+// consumption of map iteration.
+//
+// Go randomizes map iteration order, so any value that flows from a
+// `for k, v := range m` loop into an ordered sink — an append that is never
+// sorted afterwards, an encoder or writer call, an accumulator fold, or a
+// floating-point compound assignment — makes the result depend on the
+// iteration order of that particular run. This is the bug class behind the
+// seed's Table 1 nondeterminism (PR 3): map keys were appended to a slice
+// whose sort comparator could not break all ties.
+//
+// The analyzer accepts the standard deterministic idiom: collecting keys
+// into a slice that is subsequently sorted (sort.* or slices.Sort*) in the
+// same function.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/detlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags map iteration whose per-element results flow into an ordered sink " +
+		"(append without a later sort, encoder/writer calls, accumulator folds, float accumulation)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// sinkMethods are method or function names treated as ordered sinks: calls
+// that observe their arguments in call order (accumulator folds, encoder
+// and writer APIs, print functions).
+var sinkMethods = map[string]bool{
+	"Add": true, "Merge": true, "Observe": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Table": true, "AddSummary": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// sortFuncs are the sort.* / slices.Sort* entry points that launder a
+// collected slice into a deterministic order.
+var sortFuncs = map[string]bool{
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true, "sort.Stable": true,
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	rep := detlint.NewReporter(pass)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	// Analyze function bodies; dedup nested-function revisits (a FuncLit's
+	// body is walked both as its own unit and within its enclosing decl).
+	reported := make(map[token.Pos]bool)
+	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body == nil {
+			return
+		}
+		checkFunc(pass, rep, body, reported)
+	})
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, rep *detlint.Reporter, body *ast.BlockStmt, reported map[token.Pos]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !detlint.IsMapType(pass.TypesInfo.TypeOf(rng.X)) {
+			return true
+		}
+		checkMapRange(pass, rep, body, rng, reported)
+		return true
+	})
+}
+
+// checkMapRange inspects one `range m` loop over a map for ordered sinks
+// fed by the iteration variables.
+func checkMapRange(pass *analysis.Pass, rep *detlint.Reporter, fnBody *ast.BlockStmt, rng *ast.RangeStmt, reported map[token.Pos]bool) {
+	info := pass.TypesInfo
+	iterObjs := rangeVarObjects(info, rng)
+	if len(iterObjs) == 0 {
+		// `for range m {}` consumes nothing order-dependent directly, but
+		// the body may still index the map; without iteration variables
+		// there is no per-element flow to track.
+		return
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		rep.Reportf(pos, format, args...)
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if dst, ok := appendDest(info, n); ok {
+				if !detlint.UsesObject(info, n, iterObjs...) {
+					return true
+				}
+				if obj := exprObject(info, dst); obj != nil && sortedLater(pass, fnBody, rng, obj) {
+					return true // collect-then-sort idiom
+				}
+				report(n.Pos(), "append of map iteration values to a slice that is never sorted afterwards; map order is nondeterministic — sort the slice (or collect and sort keys) before use")
+				return true
+			}
+			if name, ok := sinkCallName(info, n); ok && detlint.UsesObject(info, argsOnly(n), iterObjs...) {
+				report(n.Pos(), "map iteration value flows into ordered sink %s inside the range; iterate sorted keys instead (map order is nondeterministic)", name)
+			}
+		case *ast.AssignStmt:
+			if (n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN || n.Tok == token.MUL_ASSIGN) &&
+				len(n.Lhs) == 1 && isFloat(info.TypeOf(n.Lhs[0])) &&
+				detlint.UsesObject(info, n.Rhs[0], iterObjs...) {
+				report(n.Pos(), "floating-point accumulation over map iteration; float addition is not associative, so the fold depends on map order — accumulate over sorted keys")
+			}
+		}
+		return true
+	})
+}
+
+// rangeVarObjects returns the objects of the loop's key/value variables.
+func rangeVarObjects(info *types.Info, rng *ast.RangeStmt) []types.Object {
+	var objs []types.Object
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id == nil || id.Name == "_" {
+			continue
+		}
+		if obj := info.Defs[id]; obj != nil {
+			objs = append(objs, obj)
+		} else if obj := info.Uses[id]; obj != nil { // `k = range m` reusing an outer var
+			objs = append(objs, obj)
+		}
+	}
+	return objs
+}
+
+// appendDest reports whether call is append(dst, ...) and returns dst.
+func appendDest(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) < 2 {
+		return nil, false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// sinkCallName classifies a call as an ordered sink and names it for the
+// diagnostic: method calls like enc.Add / w.Write, or package functions
+// like fmt.Fprintf.
+func sinkCallName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !sinkMethods[sel.Sel.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// argsOnly wraps the call's arguments (and, for method sinks, the
+// receiver is deliberately excluded: `dist.Add(v)` is flagged because v is
+// the iteration value, not because dist exists).
+func argsOnly(call *ast.CallExpr) ast.Node {
+	list := &ast.ExprStmt{X: &ast.CallExpr{Fun: &ast.Ident{Name: "args"}, Args: call.Args}}
+	return list
+}
+
+// exprObject resolves a simple destination expression (identifier) to its
+// object; selector and index destinations return nil and are treated as
+// unsortable (conservatively flagged).
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := e.(*ast.Ident); ok {
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// sortedLater reports whether obj (a slice) is passed to a sort function
+// somewhere in the enclosing function after the range loop.
+func sortedLater(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	info := pass.TypesInfo
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if _, isPkg := info.Uses[pkgID].(*types.PkgName); !isPkg {
+			return true
+		}
+		if !sortFuncs[pkgID.Name+"."+sel.Sel.Name] {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

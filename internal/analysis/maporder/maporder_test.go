@@ -1,0 +1,18 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/analysistest"
+	"github.com/dramstudy/rhvpp/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer, "a")
+}
+
+// TestSuppression pins the //detlint:ignore contract shared by the whole
+// suite: reasoned directives suppress, unreasoned ones are diagnostics.
+func TestSuppression(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer, "ignore")
+}

@@ -1,0 +1,124 @@
+// Package a exercises the maporder analyzer: ordered sinks fed from map
+// iteration are flagged; the collect-then-sort idiom and order-independent
+// uses are clean.
+package a
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type acc struct{ n int }
+
+func (a *acc) Add(x float64)     { a.n++ }
+func (a *acc) Merge(b acc)       { a.n += b.n }
+func (a *acc) Len() int          { return a.n }
+func (a *acc) Reset(scale int)   { a.n = 0 }
+func (a *acc) Touch(name string) {}
+
+// AppendNeverSorted is the PR 3 bug shape: keys collected from a map and
+// used without sorting.
+func AppendNeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append of map iteration values to a slice that is never sorted afterwards`
+	}
+	return keys
+}
+
+// CollectThenSort is the sanctioned idiom.
+func CollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectThenSortSlice is the comparator form of the sanctioned idiom.
+func CollectThenSortSlice(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// FoldIntoAccumulator feeds iteration values straight into an accumulator.
+func FoldIntoAccumulator(m map[string]float64) int {
+	var d acc
+	for _, v := range m {
+		d.Add(v) // want `map iteration value flows into ordered sink Add`
+	}
+	return d.Len()
+}
+
+// MergePartials folds partial results in map order.
+func MergePartials(m map[string]acc) int {
+	var total acc
+	for _, part := range m {
+		total.Merge(part) // want `map iteration value flows into ordered sink Merge`
+	}
+	return total.Len()
+}
+
+// WriteDirectly streams map entries to a writer in iteration order.
+func WriteDirectly(m map[string]int) {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v) // want `map iteration value flows into ordered sink Fprintf`
+	}
+	os.Stdout.WriteString(b.String())
+}
+
+// FloatFold accumulates floats in map order.
+func FloatFold(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation over map iteration`
+	}
+	return sum
+}
+
+// IntFold is order-independent (exact integer addition) and stays clean.
+func IntFold(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// MapRebuild writes into another map: no order dependence, clean.
+func MapRebuild(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// ReceiverNotValue: the sink's receiver touches loop state but its
+// arguments do not involve the iteration variables; clean.
+func ReceiverNotValue(m map[string]int, accs map[string]*acc) {
+	for k := range m {
+		_ = k
+		accs["fixed"].Reset(3)
+	}
+}
+
+// NestedClosure: a closure inside the range body feeding a sink is still
+// order-dependent.
+func NestedClosure(m map[string]float64) int {
+	var d acc
+	for _, v := range m {
+		func() {
+			d.Add(v) // want `map iteration value flows into ordered sink Add`
+		}()
+	}
+	return d.Len()
+}

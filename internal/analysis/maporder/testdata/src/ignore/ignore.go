@@ -1,0 +1,46 @@
+// Package ignore exercises the //detlint:ignore directive: a reasoned
+// directive suppresses the diagnostic on its line or the next, and an
+// unreasoned directive is itself a diagnostic (and suppresses nothing).
+package ignore
+
+type sink struct{ n int }
+
+func (s *sink) Add(x float64) { s.n++ }
+
+// SuppressedTrailing uses the trailing-comment form with a reason.
+func SuppressedTrailing(m map[string]float64) int {
+	var s sink
+	for _, v := range m {
+		s.Add(v) //detlint:ignore maporder the sink is a commutative counter in this test
+	}
+	return s.n
+}
+
+// SuppressedOwnLine uses the own-line form covering the next line.
+func SuppressedOwnLine(m map[string]float64) int {
+	var s sink
+	for _, v := range m {
+		//detlint:ignore maporder commutative counter, order cannot matter
+		s.Add(v)
+	}
+	return s.n
+}
+
+// Unreasoned: the directive itself is reported and does not suppress.
+func Unreasoned(m map[string]float64) int {
+	var s sink
+	for _, v := range m {
+		s.Add(v) //detlint:ignore maporder // want `directive has no reason` `ordered sink Add`
+	}
+	return s.n
+}
+
+// WrongAnalyzer: a directive naming another analyzer does not suppress
+// this one.
+func WrongAnalyzer(m map[string]float64) int {
+	var s sink
+	for _, v := range m {
+		s.Add(v) //detlint:ignore detsource wrong analyzer name // want `ordered sink Add`
+	}
+	return s.n
+}

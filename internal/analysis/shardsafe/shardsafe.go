@@ -1,0 +1,139 @@
+// Package shardsafe defines an analyzer that keeps shard-artifact partial
+// structs serializable and mergeable.
+//
+// Sharded campaigns serialize per-unit partial results (the Module*
+// structs and anything JSON-tagged for the artifact envelope) and fold
+// them back with MergeArtifacts. An accumulator that cannot survive a
+// JSON round-trip — stats.P2Quantile and the P2Summary composite are
+// deliberately non-serializable and non-mergeable (see
+// internal/stats/marshal.go) — silently corrupts that path: exported
+// fields marshal as empty objects, unexported ones are dropped entirely,
+// and the merged campaign reports zeros instead of failing loudly. The
+// analyzer flags any field of a shard-partial struct whose type contains
+// such an accumulator; ValueCounts-backed stats.Dist is the sharded
+// alternative.
+package shardsafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/detlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shardsafe",
+	Doc: "flags non-serializable accumulators (stats.P2Quantile, stats.P2Summary) in shard-artifact " +
+		"partial structs (Module* or JSON-tagged), which would silently break MergeArtifacts",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// banned lists the non-serializable accumulators as pkgname.TypeName; the
+// package is matched by name so fixtures can model it.
+var banned = "stats.P2Quantile,stats.P2Summary"
+
+func init() {
+	Analyzer.Flags.StringVar(&banned, "banned", banned,
+		"comma-separated pkgname.TypeName list of non-serializable accumulator types")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	bannedSet := make(map[string]bool)
+	for _, s := range strings.Split(banned, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			bannedSet[s] = true
+		}
+	}
+	rep := detlint.NewReporter(pass)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.TypeSpec)(nil)}, func(n ast.Node) {
+		spec := n.(*ast.TypeSpec)
+		st, ok := spec.Type.(*ast.StructType)
+		if !ok {
+			return
+		}
+		if !isShardPartial(spec.Name.Name, st) {
+			return
+		}
+		for _, field := range st.Fields.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if hit := containsBanned(t, bannedSet, make(map[types.Type]bool)); hit != "" {
+				exported := false
+				for _, name := range field.Names {
+					if name.IsExported() {
+						exported = true
+					}
+				}
+				fate := "is silently dropped by the JSON round-trip (unexported)"
+				if exported {
+					fate = "does not serialize (marshals empty / fails to decode)"
+				}
+				rep.Reportf(field.Pos(),
+					"shard-partial struct %s carries non-serializable accumulator %s, which %s and silently breaks MergeArtifacts; use the ValueCounts-backed stats.Dist (or another serializable accumulator) in shard partials",
+					spec.Name.Name, hit, fate)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// isShardPartial decides whether a struct participates in the shard
+// artifact contract: Module*-named partials and structs with JSON-tagged
+// fields (serialization intent).
+func isShardPartial(name string, st *ast.StructType) bool {
+	if strings.HasPrefix(name, "Module") {
+		return true
+	}
+	for _, f := range st.Fields.List {
+		if f.Tag != nil && strings.Contains(f.Tag.Value, `json:`) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsBanned walks t's structure (pointers, slices, arrays, map
+// values, struct fields, named underlyings) and returns the description
+// of the first banned accumulator found, or "".
+func containsBanned(t types.Type, bannedSet map[string]bool, seen map[types.Type]bool) string {
+	t = types.Unalias(t)
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			qname := obj.Pkg().Name() + "." + obj.Name()
+			if bannedSet[qname] {
+				return qname
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return containsBanned(u.Elem(), bannedSet, seen)
+	case *types.Slice:
+		return containsBanned(u.Elem(), bannedSet, seen)
+	case *types.Array:
+		return containsBanned(u.Elem(), bannedSet, seen)
+	case *types.Map:
+		return containsBanned(u.Elem(), bannedSet, seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hit := containsBanned(u.Field(i).Type(), bannedSet, seen); hit != "" {
+				return hit
+			}
+		}
+	}
+	return ""
+}

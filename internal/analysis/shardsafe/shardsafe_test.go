@@ -1,0 +1,12 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/analysistest"
+	"github.com/dramstudy/rhvpp/internal/analysis/shardsafe"
+)
+
+func TestShardSafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), shardsafe.Analyzer, "b")
+}

@@ -1,0 +1,46 @@
+// Package b exercises the shardsafe analyzer against modeled stats types.
+package b
+
+import "stats"
+
+// ModuleHammer is a shard partial by name: the exported P² field would
+// marshal empty and merge as zeros.
+type ModuleHammer struct {
+	Rows int
+	P95  *stats.P2Quantile // want `shard-partial struct ModuleHammer carries non-serializable accumulator stats\.P2Quantile`
+}
+
+// ModuleLatency hides the estimator in an unexported field: JSON drops it
+// silently.
+type ModuleLatency struct {
+	Count   int
+	summary stats.P2Summary // want `carries non-serializable accumulator stats\.P2Summary, which is silently dropped`
+}
+
+// Envelope is JSON-tagged (serialization intent) and nests the estimator
+// inside a slice of wrappers.
+type wrapper struct {
+	Q *stats.P2Quantile
+}
+
+type Envelope struct {
+	Name  string    `json:"name"`
+	Parts []wrapper `json:"parts"` // want `carries non-serializable accumulator stats\.P2Quantile`
+}
+
+// ModuleClean uses the serializable accumulator: clean.
+type ModuleClean struct {
+	Rows int
+	BERs stats.Dist
+}
+
+// Scratch is neither Module*-named nor JSON-tagged: in-process use of P²
+// composites is sanctioned (that is exactly what P2Summary is for).
+type Scratch struct {
+	Live *stats.P2Quantile
+}
+
+func use() {
+	_ = ModuleLatency{}.summary
+	_ = Scratch{}
+}

@@ -1,0 +1,21 @@
+// Package stats models the repo's internal/stats accumulators for the
+// shardsafe fixtures: P2Quantile/P2Summary are the non-serializable
+// estimators, Dist is the serializable alternative.
+package stats
+
+// P2Quantile models the non-mergeable, non-serializable P² estimator.
+type P2Quantile struct {
+	n int
+	q [5]float64
+}
+
+// P2Summary composes P2Quantile estimators; equally non-serializable.
+type P2Summary struct {
+	quantiles [4]*P2Quantile
+}
+
+// Dist models the serializable, mergeable accumulator.
+type Dist struct {
+	N      int                `json:"n"`
+	Counts map[float64]uint64 `json:"counts"`
+}

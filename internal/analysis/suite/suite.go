@@ -1,0 +1,25 @@
+// Package suite assembles the full detlint analyzer family. cmd/detlint
+// runs exactly this list; docs/DETERMINISM.md maps each analyzer to the
+// invariant it guards.
+package suite
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/ctxloop"
+	"github.com/dramstudy/rhvpp/internal/analysis/detsource"
+	"github.com/dramstudy/rhvpp/internal/analysis/maporder"
+	"github.com/dramstudy/rhvpp/internal/analysis/shardsafe"
+	"github.com/dramstudy/rhvpp/internal/analysis/totalcmp"
+)
+
+// All returns the suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxloop.Analyzer,
+		detsource.Analyzer,
+		maporder.Analyzer,
+		shardsafe.Analyzer,
+		totalcmp.Analyzer,
+	}
+}

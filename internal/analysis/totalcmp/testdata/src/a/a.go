@@ -1,0 +1,116 @@
+// Package a exercises the totalcmp analyzer. PR3Repro is the minimized
+// reproduction of the seed's Table 1 nondeterminism: map-collected keys
+// sorted by a comparator that cannot break all ties.
+package a
+
+import "sort"
+
+type chipKey struct {
+	mfr     int
+	density int
+	rev     string
+	org     int
+	date    string
+}
+
+// PR3Repro is the original bug: the comparator never compares org or
+// date, so two groups tying on (mfr, density, rev) keep whatever order
+// map iteration dealt this run.
+func PR3Repro(groups map[chipKey]int) []chipKey {
+	keys := make([]chipKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { // want `not total over the element key \(never compares date, org\) and the slice is collected from map iteration`
+		if keys[i].mfr != keys[j].mfr {
+			return keys[i].mfr < keys[j].mfr
+		}
+		if keys[i].density != keys[j].density {
+			return keys[i].density < keys[j].density
+		}
+		return keys[i].rev < keys[j].rev
+	})
+	return keys
+}
+
+// PR3Fix is the shipped fix: a total comparator over the full key.
+func PR3Fix(groups map[chipKey]int) []chipKey {
+	keys := make([]chipKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.mfr != b.mfr {
+			return a.mfr < b.mfr
+		}
+		if a.density != b.density {
+			return a.density < b.density
+		}
+		if a.rev != b.rev {
+			return a.rev < b.rev
+		}
+		if a.org != b.org {
+			return a.org < b.org
+		}
+		return a.date < b.date
+	})
+	return keys
+}
+
+// StableStillBroken: sort.SliceStable does not rescue map-order input —
+// stability preserves the nondeterministic arrival order of ties.
+func StableStillBroken(groups map[chipKey]int) []chipKey {
+	keys := make([]chipKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.SliceStable(keys, func(i, j int) bool { // want `never compares date, density, org`
+		if keys[i].mfr != keys[j].mfr {
+			return keys[i].mfr < keys[j].mfr
+		}
+		return keys[i].rev < keys[j].rev
+	})
+	return keys
+}
+
+type row struct {
+	name  string
+	score int
+}
+
+// UnstablePartial: deterministic input, but plain sort.Slice with a
+// partial comparator leaves tie order unspecified.
+func UnstablePartial(rows []row) {
+	sort.Slice(rows, func(i, j int) bool { // want `sort.Slice comparator is not total over the element key \(never compares name\)`
+		return rows[i].score > rows[j].score
+	})
+}
+
+// StablePartial: deterministic input plus sort.SliceStable is fine — ties
+// keep the (deterministic) input order.
+func StablePartial(rows []row) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rows[i].score > rows[j].score
+	})
+}
+
+// TotalOverComparable: the payload field is a slice (not comparable, so
+// not demanded); comparing the full comparable key is total enough.
+type entry struct {
+	id      string
+	samples []float64
+}
+
+func TotalOverComparable(entries []entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].id < entries[j].id
+	})
+}
+
+// Delegating comparators are skipped: coverage cannot be established.
+func Delegating(rows []row, less func(a, b row) bool) {
+	sort.Slice(rows, func(i, j int) bool {
+		return less(rows[i], rows[j])
+	})
+}

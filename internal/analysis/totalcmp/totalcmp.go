@@ -1,0 +1,239 @@
+// Package totalcmp defines an analyzer that flags sort comparators that
+// are not total over the element key.
+//
+// A sort.Slice / sort.SliceStable comparator that compares only some
+// fields of a struct element leaves ties between the remaining fields.
+// If the slice was collected from map iteration, tied elements arrive in
+// nondeterministic order and no amount of sorting stability can fix it —
+// the comparator must compare the full key (the exact bug behind the
+// seed's Table 1 nondeterminism, fixed in PR 3). If the input order is
+// deterministic, plain sort.Slice still leaves the tie order unspecified
+// (the algorithm is not stable), so the analyzer suggests either the full
+// key or sort.SliceStable.
+//
+// The analyzer only reports comparators whose field coverage it can
+// positively establish: a function literal directly comparing fields of
+// the element struct. Delegating comparators are skipped. sort.Search
+// predicates are out of scope (they select within an already-ordered
+// slice; ordering bugs there are the slice's, which this analyzer covers
+// at the sort site).
+package totalcmp
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/detlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "totalcmp",
+	Doc: "flags sort.Slice/sort.SliceStable comparators that compare only part of a struct key, " +
+		"leaving tie order to chance (nondeterministic when the slice came from map iteration)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	rep := detlint.NewReporter(pass)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		stable, ok := sortSliceCall(pass.TypesInfo, call)
+		if !ok || len(call.Args) != 2 {
+			return true
+		}
+		cmp, ok := call.Args[1].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		elem, ok := sliceElemStruct(pass.TypesInfo, call.Args[0])
+		if !ok {
+			return true
+		}
+		compared := comparedFields(pass.TypesInfo, cmp, elem)
+		if len(compared) == 0 {
+			return true // delegating comparator: coverage unknown, skip
+		}
+		missing := missingComparable(elem, compared)
+		if len(missing) == 0 {
+			return true
+		}
+		fromMap := collectedFromMap(pass.TypesInfo, stack, call.Args[0])
+		switch {
+		case fromMap:
+			rep.Reportf(call.Pos(),
+				"comparator is not total over the element key (never compares %s) and the slice is collected from map iteration, so ties keep nondeterministic map order; compare the full key",
+				strings.Join(missing, ", "))
+		case !stable:
+			rep.Reportf(call.Pos(),
+				"sort.Slice comparator is not total over the element key (never compares %s); tie order is unspecified — compare the full key or use sort.SliceStable",
+				strings.Join(missing, ", "))
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// sortSliceCall recognizes sort.Slice / sort.SliceStable; stable reports
+// which one.
+func sortSliceCall(info *types.Info, call *ast.CallExpr) (stable, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return false, false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sort" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Slice":
+		return false, true
+	case "SliceStable":
+		return true, true
+	}
+	return false, false
+}
+
+// sliceElemStruct resolves the sorted expression to a slice of structs
+// (possibly through named types and pointers) and returns the struct.
+func sliceElemStruct(info *types.Info, e ast.Expr) (*types.Struct, bool) {
+	t := info.TypeOf(e)
+	if t == nil {
+		return nil, false
+	}
+	sl, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return nil, false
+	}
+	elem := types.Unalias(sl.Elem())
+	if p, ok := elem.Underlying().(*types.Pointer); ok {
+		elem = types.Unalias(p.Elem())
+	}
+	st, ok := elem.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// comparedFields collects the names of elem's fields that appear in
+// comparison expressions inside the comparator body.
+func comparedFields(info *types.Info, cmp *ast.FuncLit, elem *types.Struct) map[string]bool {
+	fieldOf := make(map[*types.Var]string, elem.NumFields())
+	for i := 0; i < elem.NumFields(); i++ {
+		fieldOf[elem.Field(i)] = elem.Field(i).Name()
+	}
+	compared := make(map[string]bool)
+	ast.Inspect(cmp.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !isComparison(be) {
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			ast.Inspect(side, func(m ast.Node) bool {
+				sel, ok := m.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+					if name, ok := fieldOf[origin(v)]; ok {
+						compared[name] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return compared
+}
+
+// origin maps a possibly-instantiated field var back to the generic
+// declaration used in the struct's field list.
+func origin(v *types.Var) *types.Var { return v.Origin() }
+
+func isComparison(be *ast.BinaryExpr) bool {
+	switch be.Op.String() {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// missingComparable lists elem's comparable fields absent from compared,
+// in declaration order. Non-comparable fields (slices, maps, funcs)
+// cannot tie-break and are not demanded.
+func missingComparable(elem *types.Struct, compared map[string]bool) []string {
+	var missing []string
+	for i := 0; i < elem.NumFields(); i++ {
+		f := elem.Field(i)
+		if !types.Comparable(f.Type()) || compared[f.Name()] {
+			continue
+		}
+		missing = append(missing, f.Name())
+	}
+	sort.Strings(missing) // field order carries no meaning in the message
+	return missing
+}
+
+// collectedFromMap reports whether the sorted slice is appended to from a
+// map-range loop anywhere in the enclosing function chain (the
+// collect-keys idiom), which makes its pre-sort order nondeterministic.
+func collectedFromMap(info *types.Info, stack []ast.Node, sliceExpr ast.Expr) bool {
+	id, ok := sliceExpr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	// Innermost enclosing function-like node bounds the search.
+	var scope ast.Node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			scope = stack[i]
+		}
+	}
+	if scope == nil {
+		scope = stack[0]
+	}
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !detlint.IsMapType(info.TypeOf(rng.X)) {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+				return true
+			}
+			if dst, ok := call.Args[0].(*ast.Ident); ok && info.Uses[dst] == obj {
+				found = true
+				return false
+			}
+			return true
+		})
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package totalcmp_test
+
+import (
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/analysistest"
+	"github.com/dramstudy/rhvpp/internal/analysis/totalcmp"
+)
+
+func TestTotalCmp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), totalcmp.Analyzer, "a")
+}

@@ -31,4 +31,9 @@
 // key) before encoding regardless of execution order, and Encode writes
 // stable indented JSON. Two shards that executed the same units under the
 // same options produce identical bytes.
+//
+// The full catalog of determinism and shard-safety invariants — including
+// why partial structs must carry only serializable accumulators — lives in
+// docs/DETERMINISM.md; the internal/analysis suite (`go run ./cmd/detlint
+// ./...`) enforces them at compile time.
 package artifact

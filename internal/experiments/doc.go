@@ -42,4 +42,8 @@
 // it is bounded by the number of distinct samples — the configured row
 // selection — with stats.P2Summary available as the strictly-O(1)
 // estimator if those populations ever outgrow that.
+//
+// Drivers must observe the determinism contracts of docs/DETERMINISM.md
+// (sorted map walks, total comparators, internal/rng only, cancellable
+// loops); `go run ./cmd/detlint ./...` checks them statically.
 package experiments

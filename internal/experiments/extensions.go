@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"github.com/dramstudy/rhvpp/internal/core"
 	"github.com/dramstudy/rhvpp/internal/infra"
@@ -57,8 +58,15 @@ func RunFineRefreshStudy(ctx context.Context, o Options, moduleName string) (Fin
 		FineCost:  plan.RefreshCostVsNominal(),
 	}
 	st.BlanketCost = (float64(len(rows)-st.WeakRows) + 2*float64(st.WeakRows)) / float64(len(rows))
-	for _, w := range plan.WindowMS {
-		st.WindowsMS = append(st.WindowsMS, w)
+	// plan.WindowMS is a map keyed by row; walk it in sorted row order so
+	// WindowsMS (and anything rendered from it) is reproducible.
+	weakRows := make([]int, 0, len(plan.WindowMS))
+	for r := range plan.WindowMS {
+		weakRows = append(weakRows, r)
+	}
+	sort.Ints(weakRows)
+	for _, r := range weakRows {
+		st.WindowsMS = append(st.WindowsMS, plan.WindowMS[r])
 	}
 	failed, err := mitigation.VerifyFine(tester, plan, rows, 0xAA)
 	if err != nil {

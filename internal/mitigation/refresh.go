@@ -1,6 +1,8 @@
 package mitigation
 
 import (
+	"sort"
+
 	"github.com/dramstudy/rhvpp/internal/core"
 )
 
@@ -134,8 +136,15 @@ func (p FineRefreshPlan) RefreshCostVsNominal() float64 {
 		return 1
 	}
 	cost := float64(p.TotalRows - len(p.WindowMS)) // nominal-rate rows
-	for _, w := range p.WindowMS {
-		cost += p.NominalWindowMS / w
+	// Fold in sorted row order: float addition is not associative, so a
+	// map-order walk would make the low bits of the cost depend on the run.
+	rows := make([]int, 0, len(p.WindowMS))
+	for r := range p.WindowMS {
+		rows = append(rows, r)
+	}
+	sort.Ints(rows)
+	for _, r := range rows {
+		cost += p.NominalWindowMS / p.WindowMS[r]
 	}
 	return cost / float64(p.TotalRows)
 }

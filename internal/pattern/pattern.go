@@ -5,7 +5,10 @@
 // (WCDP) the experiments select at nominal VPP and reuse at reduced VPP.
 package pattern
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Kind identifies one of the six canonical test data patterns.
 type Kind int
@@ -160,11 +163,13 @@ func (t *WCDPTable) Get(row int) (Kind, bool) {
 // Len returns the number of rows with a recorded WCDP.
 func (t *WCDPTable) Len() int { return len(t.byRow) }
 
-// Rows returns the profiled row addresses in unspecified order.
+// Rows returns the profiled row addresses in ascending order, so callers
+// iterating the table inherit a deterministic walk.
 func (t *WCDPTable) Rows() []int {
 	rows := make([]int, 0, len(t.byRow))
 	for r := range t.byRow {
 		rows = append(rows, r)
 	}
+	sort.Ints(rows)
 	return rows
 }

@@ -20,4 +20,8 @@
 // With jobs <= 1 both degenerate to a plain serial loop on the calling
 // goroutine, which is bit-identical to the parallel path by the invariants
 // above.
+//
+// The repository-wide determinism invariants this package contributes to
+// are catalogued in docs/DETERMINISM.md and enforced by `go run
+// ./cmd/detlint ./...`.
 package pool

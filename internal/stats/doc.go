@@ -42,4 +42,8 @@
 //
 // All functions are pure and operate on copies where mutation would
 // otherwise leak to the caller.
+//
+// Note that P2Quantile and P2Summary do not survive the JSON round-trip
+// and therefore must not appear in shard-artifact partials; the shardsafe
+// analyzer enforces this (see docs/DETERMINISM.md).
 package stats

@@ -1,14 +1,28 @@
-// Command detlint runs the rhvpp determinism and shard-safety analyzer
-// suite (internal/analysis/...) over Go package patterns:
+// Command detlint runs the rhvpp determinism, shard-safety, and
+// performance-contract analyzer suite (internal/analysis/...) over Go
+// package patterns:
 //
 //	go run ./cmd/detlint ./...          # human-readable, exit 1 on findings
 //	go run ./cmd/detlint -json ./...    # machine-readable diagnostics
 //
 // The driver is self-contained so it works offline: package metadata and
 // compiler export data come from `go list -deps -export -json`, source is
-// parsed and type-checked in-process, and the analyzers run through the
-// same execution core as their analysistest fixtures. Suppressions use
+// parsed and type-checked in-process, packages are analyzed in dependency
+// order so cross-package analyzer facts (hotalloc's allocation summaries)
+// are available at every call site, and the analyzers run through the same
+// execution core as their analysistest fixtures. Suppressions use
 // //detlint:ignore <analyzer> <reason> (see internal/analysis/detlint).
+//
+// The same binary also speaks the `go vet -vettool` protocol, so editors
+// and CI can share one tool:
+//
+//	go build -o /tmp/detlint ./cmd/detlint
+//	go vet -vettool=/tmp/detlint ./...
+//
+// In vettool mode the standard unitchecker drives the suite (go vet hands
+// it one package per invocation plus serialized facts from dependencies);
+// the diagnostics and suppression semantics are identical to the
+// standalone driver because both run the same analyzers.
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
 package main
@@ -29,15 +43,29 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"github.com/dramstudy/rhvpp/internal/analysis/detlint"
 	"github.com/dramstudy/rhvpp/internal/analysis/suite"
 )
 
 func main() {
+	// go vet -vettool invokes the tool as `detlint -V=full` (version probe),
+	// `detlint -flags` (flag discovery), and `detlint <flags> <pkg>.cfg`
+	// (one unit of work); hand all three shapes to the standard unitchecker
+	// before defining any standalone flags. Main never returns.
+	if args := os.Args[1:]; len(args) > 0 &&
+		(strings.HasPrefix(args[0], "-V") || args[0] == "-flags" ||
+			strings.HasSuffix(args[len(args)-1], ".cfg")) {
+		unitchecker.Main(suite.All()...)
+	}
+
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	benchOut := flag.String("bench", "",
+		"after a clean run, record detlint_ns_per_pkg (wall time / packages analyzed) into this JSON snapshot file (read-modify-write)")
 	for _, a := range suite.All() {
 		a.Flags.VisitAll(func(f *flag.Flag) {
 			flag.Var(f.Value, a.Name+"."+f.Name, f.Usage)
@@ -48,7 +76,9 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, err := lint(".", patterns)
+	start := time.Now() //detlint:ignore detsource self-timing of the analyzer run for the perf snapshot
+	findings, npkgs, err := lint(".", patterns)
+	elapsed := time.Since(start) //detlint:ignore detsource self-timing of the analyzer run for the perf snapshot
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "detlint:", err)
 		os.Exit(2)
@@ -63,9 +93,37 @@ func main() {
 			fmt.Printf("%s: [%s] %s\n", relPos(f.Pos), f.Analyzer, f.Message)
 		}
 	}
+	if *benchOut != "" && npkgs > 0 {
+		if err := recordBench(*benchOut, float64(elapsed.Nanoseconds())/float64(npkgs)); err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			os.Exit(2)
+		}
+	}
 	if len(findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// recordBench merges detlint_ns_per_pkg into the JSON object at path,
+// preserving every other key (BENCH_spice.json is owned by cmd/spicebench;
+// this is the analyzer-cost line of the same perf snapshot).
+func recordBench(path string, nsPerPkg float64) error {
+	snapshot := make(map[string]any)
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &snapshot); err != nil {
+			return fmt.Errorf("bench snapshot %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	snapshot["detlint_ns_per_pkg"] = nsPerPkg
+	// Map marshaling sorts keys, so repeated -bench runs rewrite the file
+	// identically; cmd/spicebench carries the key through its own rewrites.
+	b, err := json.MarshalIndent(snapshot, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // listedPkg is the subset of `go list -json` output the driver consumes.
@@ -78,14 +136,18 @@ type listedPkg struct {
 	Export     string
 	Standard   bool
 	DepOnly    bool
+	Deps       []string
 }
 
-// lint loads the packages matching patterns (relative to dir) and runs
-// the full analyzer suite over every non-dependency, non-test package.
-func lint(dir string, patterns []string) ([]detlint.Finding, error) {
+// lint loads the packages matching patterns (relative to dir) and runs the
+// full analyzer suite over every non-dependency, non-test package, in
+// dependency order under one shared fact store so facts exported while
+// analyzing a package are visible at its importers' call sites. It returns
+// the findings plus the number of packages analyzed (for -bench).
+func lint(dir string, patterns []string) ([]detlint.Finding, int, error) {
 	pkgs, err := load(dir, patterns)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	exports := make(map[string]string, len(pkgs))
 	var targets []listedPkg
@@ -97,8 +159,31 @@ func lint(dir string, patterns []string) ([]detlint.Finding, error) {
 			targets = append(targets, p)
 		}
 	}
-	// Stable + keyed on the unique ImportPath: deterministic report order.
-	sort.SliceStable(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	// Analysis order is topological: Deps is the TRANSITIVE dependency
+	// cone, so "fewer in-target deps first" (ties broken by the unique
+	// ImportPath) puts every target after all targets it imports. The
+	// report stays in position order because findings are re-sorted
+	// globally below.
+	inTarget := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		inTarget[t.ImportPath] = true
+	}
+	depCount := func(p listedPkg) int {
+		n := 0
+		for _, d := range p.Deps {
+			if inTarget[d] {
+				n++
+			}
+		}
+		return n
+	}
+	sort.SliceStable(targets, func(i, j int) bool {
+		ni, nj := depCount(targets[i]), depCount(targets[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return targets[i].ImportPath < targets[j].ImportPath
+	})
 
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
@@ -111,21 +196,23 @@ func lint(dir string, patterns []string) ([]detlint.Finding, error) {
 
 	var findings []detlint.Finding
 	analyzers := suite.All()
+	store := detlint.NewFactStore()
 	for _, target := range targets {
 		if len(target.CgoFiles) > 0 {
-			return nil, fmt.Errorf("%s uses cgo, which this driver cannot type-check", target.ImportPath)
+			return nil, 0, fmt.Errorf("%s uses cgo, which this driver cannot type-check", target.ImportPath)
 		}
-		pkgFindings, err := lintPackage(fset, imp, target, analyzers)
+		pkgFindings, err := lintPackage(fset, imp, target, analyzers, store)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		findings = append(findings, pkgFindings...)
 	}
-	return findings, nil
+	detlint.SortFindings(findings)
+	return findings, len(targets), nil
 }
 
 // lintPackage parses, type-checks and analyzes one package.
-func lintPackage(fset *token.FileSet, imp types.Importer, target listedPkg, analyzers []*analysis.Analyzer) ([]detlint.Finding, error) {
+func lintPackage(fset *token.FileSet, imp types.Importer, target listedPkg, analyzers []*analysis.Analyzer, store *detlint.FactStore) ([]detlint.Finding, error) {
 	files := make([]*ast.File, 0, len(target.GoFiles))
 	for _, name := range target.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(target.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
@@ -140,7 +227,7 @@ func lintPackage(fset *token.FileSet, imp types.Importer, target listedPkg, anal
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %w", target.ImportPath, err)
 	}
-	return detlint.RunAnalyzers(&detlint.Package{Fset: fset, Files: files, Types: tpkg, Info: info}, analyzers)
+	return detlint.RunAnalyzersFacts(&detlint.Package{Fset: fset, Files: files, Types: tpkg, Info: info}, analyzers, store)
 }
 
 // load shells out to `go list` for package metadata plus export data for
@@ -149,7 +236,7 @@ func lintPackage(fset *token.FileSet, imp types.Importer, target listedPkg, anal
 func load(dir string, patterns []string) ([]listedPkg, error) {
 	args := append([]string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Export,Standard,DepOnly",
+		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Export,Standard,DepOnly,Deps",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -63,9 +64,12 @@ func Collect(m map[string]int) []int {
 `,
 	})
 
-	findings, err := lint(dir, []string{"./..."})
+	findings, npkgs, err := lint(dir, []string{"./..."})
 	if err != nil {
 		t.Fatalf("lint: %v", err)
+	}
+	if npkgs != 2 {
+		t.Errorf("lint analyzed %d packages, want 2", npkgs)
 	}
 	var got []string
 	for _, f := range findings {
@@ -100,12 +104,49 @@ import "time"
 func Stamp() int64 { return time.Now().UnixNano() }
 `,
 	})
-	findings, err := lint(dir, []string{"./..."})
+	findings, _, err := lint(dir, []string{"./..."})
 	if err != nil {
 		t.Fatalf("lint: %v", err)
 	}
 	if len(findings) != 0 {
 		t.Fatalf("suppressed module still has findings: %+v", findings)
+	}
+}
+
+// TestVettoolMode drives the built binary through the real `go vet
+// -vettool` protocol. The fixture splits a hotalloc finding across two
+// packages — an allocating helper and a hot caller — so the test covers
+// unitchecker's fact files standing in for the offline driver's FactStore.
+func TestVettoolMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and shells out to go vet")
+	}
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/vetmod\n\ngo 1.24\n",
+		"dep/dep.go": `package dep
+
+func Alloc(n int) []int { return make([]int, n) }
+`,
+		"hot/hot.go": `package hot
+
+import "example.com/vetmod/dep"
+
+//detlint:hotpath witness=BenchmarkHot
+func Hot(n int) []int { return dep.Alloc(n) }
+`,
+	})
+	tool := filepath.Join(t.TempDir(), "detlint")
+	if out, err := exec.Command("go", "build", "-o", tool, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building detlint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = dir
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool reported no findings; want a cross-package hotalloc diagnostic\n%s", out)
+	}
+	if !strings.Contains(string(out), "may allocate") || !strings.Contains(string(out), "hotpath function Hot") {
+		t.Errorf("go vet output missing the cross-package hotalloc diagnostic:\n%s", out)
 	}
 }
 

@@ -248,7 +248,11 @@ func renderExperiments(ctx context.Context, c *rhvpp.Campaign, ids []string,
 			err = c.Run(ctx, id, enc)
 		}
 		if fh != nil {
-			fh.Close()
+			// A close failure on the output file is a lost short write;
+			// surface it unless the experiment already failed.
+			if cerr := fh.Close(); err == nil {
+				err = cerr
+			}
 		}
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
@@ -347,9 +351,9 @@ func writeArtifactAtomic(path string, art *rhvpp.ShardArtifact) error {
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer os.Remove(tmp.Name()) //detlint:ignore sinkerr best-effort temp cleanup, a no-op after a successful rename
 	if err := rhvpp.EncodeArtifact(tmp, art); err != nil {
-		tmp.Close()
+		tmp.Close() //detlint:ignore sinkerr already failing, the encode error is the one to surface
 		return err
 	}
 	if err := tmp.Close(); err != nil {
@@ -365,7 +369,7 @@ func runShardExec(ctx context.Context, reqPath string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	defer fh.Close()
+	defer fh.Close() //detlint:ignore sinkerr read-only descriptor, close cannot lose written data
 	req, err := rhvpp.DecodeShardRequest(fh)
 	if err != nil {
 		return err
@@ -410,7 +414,7 @@ func runMerge(ctx context.Context, args []string, stdout io.Writer) error {
 			return err
 		}
 		arts[i], err = rhvpp.DecodeArtifact(fh)
-		fh.Close()
+		fh.Close() //detlint:ignore sinkerr read-only descriptor, the decode error is the one to surface
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}

@@ -293,7 +293,7 @@ func TestPresetGoldenSelectsPinnedScope(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer fh.Close()
+	defer fh.Close() //detlint:ignore sinkerr read path; DecodeArtifact checks every read error
 	art, err := rhvpp.DecodeArtifact(fh)
 	if err != nil {
 		t.Fatal(err)

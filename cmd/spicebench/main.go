@@ -75,6 +75,13 @@ type Snapshot struct {
 	// next to the raw in-process MC throughput above.
 	ShardMergeRunsPerSec float64 `json:"shard_merge_runs_per_sec"`
 	ShardMergeShards     int     `json:"shard_merge_shards"`
+
+	// DetlintNSPerPkg is the static-analysis suite's cost (wall time per
+	// package of a clean full-repo run), recorded by `detlint -bench` into
+	// the same snapshot. spicebench does not measure it; it carries the
+	// last recorded value through its own rewrites so the field survives a
+	// baseline refresh.
+	DetlintNSPerPkg float64 `json:"detlint_ns_per_pkg,omitempty"`
 }
 
 func main() {
@@ -90,6 +97,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spicebench:", err)
 		os.Exit(1)
 	}
+	if *out != "" {
+		// Refreshing a committed baseline must not drop the fields other
+		// tools recorded into it (detlint -bench).
+		if prev, err := os.ReadFile(*out); err == nil {
+			var old Snapshot
+			if json.Unmarshal(prev, &old) == nil {
+				snap.DetlintNSPerPkg = old.DetlintNSPerPkg
+			}
+		}
+	}
 	enc, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spicebench:", err)
@@ -97,7 +114,10 @@ func main() {
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
-		os.Stdout.Write(enc)
+		if _, err := os.Stdout.Write(enc); err != nil {
+			fmt.Fprintln(os.Stderr, "spicebench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {

@@ -57,6 +57,13 @@ func TestData() string {
 // Run analyzes each fixture package (a path relative to dir/src) with a
 // and reports mismatches between diagnostics and // want expectations as
 // test errors.
+//
+// Fixture packages the target imports from the same tree are analyzed
+// first (in load-completion order, i.e. dependencies before importers)
+// under a shared fact store, so analyzers that summarize dependencies via
+// facts — hotalloc's cross-package allocation summaries — see exactly the
+// driver's scheduling. Only the target package's diagnostics are matched
+// against // want comments; dependency fixtures contribute facts alone.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	for _, pkg := range pkgs {
@@ -66,12 +73,32 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 			t.Errorf("loading fixture %q: %v", pkg, err)
 			continue
 		}
-		findings, err := detlint.RunAnalyzers(&detlint.Package{
+		store := detlint.NewFactStore()
+		ok := true
+		for _, dep := range l.order {
+			if dep == p {
+				continue
+			}
+			if _, err := detlint.RunAnalyzersFacts(&detlint.Package{
+				Fset:  l.fset,
+				Files: dep.files,
+				Types: dep.types,
+				Info:  dep.info,
+			}, []*analysis.Analyzer{a}, store); err != nil {
+				t.Errorf("running %s on dependency of %q: %v", a.Name, pkg, err)
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		findings, err := detlint.RunAnalyzersFacts(&detlint.Package{
 			Fset:  l.fset,
 			Files: p.files,
 			Types: p.types,
 			Info:  p.info,
-		}, []*analysis.Analyzer{a})
+		}, []*analysis.Analyzer{a}, store)
 		if err != nil {
 			t.Errorf("running %s on %q: %v", a.Name, pkg, err)
 			continue
@@ -191,7 +218,10 @@ type loader struct {
 	srcroot string
 	fset    *token.FileSet
 	memo    map[string]*loadedPkg
-	std     types.Importer
+	// order records fixture packages in load-completion order: every
+	// package appears after the fixture packages it imports.
+	order []*loadedPkg
+	std   types.Importer
 }
 
 func newLoader(srcroot string) *loader {
@@ -255,6 +285,7 @@ func (l *loader) load(path string) (*loadedPkg, error) {
 	}
 	p := &loadedPkg{files: files, types: tpkg, info: info}
 	l.memo[path] = p
+	l.order = append(l.order, p)
 	return p, nil
 }
 

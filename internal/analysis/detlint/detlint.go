@@ -150,8 +150,18 @@ func NewInfo() *types.Info {
 // over one package and returns the diagnostics of the requested analyzers
 // sorted by position. It is the single execution path shared by
 // cmd/detlint and analysistest, so fixtures exercise exactly the driver
-// semantics.
+// semantics. Facts live in a store private to this call; drivers that
+// analyze multiple packages and need cross-package facts (hotalloc's
+// allocation summaries) use RunAnalyzersFacts with a shared store.
 func RunAnalyzers(pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	return RunAnalyzersFacts(pkg, analyzers, NewFactStore())
+}
+
+// RunAnalyzersFacts is RunAnalyzers with a caller-owned fact store. The
+// driver must analyze packages in dependency order (imports first) for
+// imported facts to be present, mirroring the upstream framework's
+// scheduling contract.
+func RunAnalyzersFacts(pkg *Package, analyzers []*analysis.Analyzer, store *FactStore) ([]Finding, error) {
 	if err := analysis.Validate(analyzers); err != nil {
 		return nil, err
 	}
@@ -187,6 +197,7 @@ func RunAnalyzers(pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, erro
 			ResultOf:   resultOf,
 			ReadFile:   os.ReadFile,
 		}
+		store.bind(pass)
 		pass.Report = func(d analysis.Diagnostic) {
 			findings = append(findings, Finding{
 				Analyzer: a.Name,
@@ -207,6 +218,13 @@ func RunAnalyzers(pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, erro
 			return nil, err
 		}
 	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// SortFindings orders findings by position, then analyzer, then message —
+// a total order, so report order never depends on scheduling.
+func SortFindings(findings []Finding) {
 	sort.SliceStable(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -223,7 +241,6 @@ func RunAnalyzers(pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, erro
 		}
 		return a.Message < b.Message
 	})
-	return findings, nil
 }
 
 // IsMapType reports whether t (after unaliasing) is a map.
@@ -263,4 +280,13 @@ func UsesObject(info *types.Info, n ast.Node, objs ...types.Object) bool {
 		return true
 	})
 	return found
+}
+
+// Suppressed reports whether a reasoned directive naming this analyzer
+// covers pos's line. hotalloc consults it while building its exported
+// allocation summaries, so a suppressed site vanishes from downstream
+// callers' diagnostics too, not only from the local report.
+func (r *Reporter) Suppressed(pos token.Pos) bool {
+	p := r.pass.Fset.Position(pos)
+	return r.suppressed[p.Filename][p.Line]
 }

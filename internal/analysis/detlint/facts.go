@@ -1,0 +1,168 @@
+package detlint
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/objectpath"
+)
+
+// FactStore carries analyzer facts across the packages of one driver run.
+//
+// The gen-2 analyzers (hotalloc in particular) summarize per-function
+// properties — "may this function heap-allocate, and where" — and consult
+// those summaries at cross-package call sites. Inside one in-process driver
+// run there is no need for the gob serialization the upstream framework
+// uses between separate processes; instead facts are stored under a stable
+// (fact type, package path, object path) key, where the object path is the
+// export-data-stable encoding from go/types/objectpath. That key is
+// identical whether the object came from type-checking the package's own
+// source or from the gc export data a downstream package imports it
+// through, which is exactly the hand-off cmd/detlint performs when it
+// analyzes packages in dependency order.
+//
+// The zero FactStore is not ready to use; call NewFactStore.
+type FactStore struct {
+	// objFacts holds facts attached to package-level objects (functions,
+	// methods, types, vars), keyed path-wise so lookups work across the
+	// source/export-data boundary.
+	objFacts map[objFactKey]analysis.Fact
+	// objIdent is the identity fallback for objects objectpath cannot
+	// encode (e.g. locals); such facts resolve only within the same
+	// type-checked universe.
+	objIdent map[identKey]analysis.Fact
+	// pkgFacts holds package-level facts.
+	pkgFacts map[pkgFactKey]analysis.Fact
+}
+
+type objFactKey struct {
+	fact reflect.Type
+	pkg  string
+	obj  objectpath.Path
+}
+
+type identKey struct {
+	fact reflect.Type
+	obj  types.Object
+}
+
+type pkgFactKey struct {
+	fact reflect.Type
+	pkg  string
+}
+
+// NewFactStore returns an empty store, shared across every package of a
+// driver run.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		objFacts: make(map[objFactKey]analysis.Fact),
+		objIdent: make(map[identKey]analysis.Fact),
+		pkgFacts: make(map[pkgFactKey]analysis.Fact),
+	}
+}
+
+// exportObjectFact records fact for obj. Facts may only be attached to
+// objects of the package currently under analysis, per the upstream
+// contract.
+func (s *FactStore) exportObjectFact(current *types.Package, obj types.Object, fact analysis.Fact) {
+	if obj == nil || obj.Pkg() != current {
+		panic(fmt.Sprintf("detlint: exporting fact %T for object %v outside the current package", fact, obj))
+	}
+	t := reflect.TypeOf(fact)
+	s.objIdent[identKey{t, obj}] = fact
+	if path, err := objectpath.For(obj); err == nil {
+		s.objFacts[objFactKey{t, obj.Pkg().Path(), path}] = fact
+	}
+}
+
+// importObjectFact copies the fact previously exported for obj (possibly
+// while analyzing another package) into ptr and reports whether one was
+// found. ptr must be a pointer of the same concrete type the exporter used.
+func (s *FactStore) importObjectFact(obj types.Object, ptr analysis.Fact) bool {
+	if obj == nil {
+		return false
+	}
+	t := reflect.TypeOf(ptr)
+	if f, ok := s.objIdent[identKey{t, obj}]; ok {
+		copyFact(f, ptr)
+		return true
+	}
+	if obj.Pkg() == nil {
+		return false
+	}
+	path, err := objectpath.For(obj)
+	if err != nil {
+		return false
+	}
+	f, ok := s.objFacts[objFactKey{t, obj.Pkg().Path(), path}]
+	if !ok {
+		return false
+	}
+	copyFact(f, ptr)
+	return true
+}
+
+// exportPackageFact records a fact for the package under analysis.
+func (s *FactStore) exportPackageFact(current *types.Package, fact analysis.Fact) {
+	s.pkgFacts[pkgFactKey{reflect.TypeOf(fact), current.Path()}] = fact
+}
+
+// importPackageFact copies the fact exported for pkg into ptr.
+func (s *FactStore) importPackageFact(pkg *types.Package, ptr analysis.Fact) bool {
+	if pkg == nil {
+		return false
+	}
+	f, ok := s.pkgFacts[pkgFactKey{reflect.TypeOf(ptr), pkg.Path()}]
+	if !ok {
+		return false
+	}
+	copyFact(f, ptr)
+	return true
+}
+
+// copyFact copies the stored fact value into the caller's pointer. Facts
+// are pointers to structs by convention; a shallow struct copy matches the
+// upstream decode-into-pointer semantics.
+func copyFact(from, to analysis.Fact) {
+	dv := reflect.ValueOf(to)
+	sv := reflect.ValueOf(from)
+	if dv.Type() != sv.Type() || dv.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("detlint: fact type mismatch: stored %T, requested %T", from, to))
+	}
+	dv.Elem().Set(sv.Elem())
+}
+
+// bind installs the store's fact operations on a pass. Passes whose
+// analyzer declares no FactTypes get no-op hooks (using facts without
+// declaring them is an analyzer bug upstream, too).
+func (s *FactStore) bind(pass *analysis.Pass) {
+	if len(pass.Analyzer.FactTypes) == 0 {
+		pass.ExportObjectFact = func(types.Object, analysis.Fact) {
+			panic("detlint: " + pass.Analyzer.Name + " exports facts but declares no FactTypes")
+		}
+		pass.ImportObjectFact = func(types.Object, analysis.Fact) bool { return false }
+		pass.ExportPackageFact = func(analysis.Fact) {
+			panic("detlint: " + pass.Analyzer.Name + " exports facts but declares no FactTypes")
+		}
+		pass.ImportPackageFact = func(*types.Package, analysis.Fact) bool { return false }
+		pass.AllObjectFacts = func() []analysis.ObjectFact { return nil }
+		pass.AllPackageFacts = func() []analysis.PackageFact { return nil }
+		return
+	}
+	current := pass.Pkg
+	pass.ExportObjectFact = func(obj types.Object, fact analysis.Fact) {
+		s.exportObjectFact(current, obj, fact)
+	}
+	pass.ImportObjectFact = s.importObjectFact
+	pass.ExportPackageFact = func(fact analysis.Fact) {
+		s.exportPackageFact(current, fact)
+	}
+	pass.ImportPackageFact = s.importPackageFact
+	// The all-facts views are not used by this suite; returning the
+	// current package's facts in a deterministic order would be the
+	// extension point if an analyzer ever needs them.
+	pass.AllObjectFacts = func() []analysis.ObjectFact { return nil }
+	pass.AllPackageFacts = func() []analysis.PackageFact { return nil }
+}

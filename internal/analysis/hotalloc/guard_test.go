@@ -1,0 +1,113 @@
+package hotalloc_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/hotalloc"
+)
+
+// TestHotpathWitnesses is the repo-level half of the hotpath contract: every
+// //detlint:hotpath annotation must name a witness= test or benchmark, and
+// the named function must exist in a *_test.go file of the SAME package, so
+// the static 0-alloc check never outlives the runtime AllocsPerRun assertion
+// it stands in for. Fixture trees are exempt (they deliberately model the
+// missing-witness diagnostic).
+func TestHotpathWitnesses(t *testing.T) {
+	root := moduleRoot(t)
+	checked := 0
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", ".git", "vendor":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			// Only actual annotation lines count: the whole (indented)
+			// line is the directive. Mentions inside doc prose, example
+			// blocks, and string literals are not annotations.
+			trimmed := strings.TrimSpace(line)
+			rest, found := strings.CutPrefix(trimmed, hotalloc.HotPrefix)
+			if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			rel, lineNo := path[len(root)+1:], i+1
+			witness := ""
+			for _, f := range strings.Fields(rest) {
+				if v, ok := strings.CutPrefix(f, "witness="); ok {
+					witness = v
+				}
+			}
+			if witness == "" {
+				t.Errorf("%s:%d: hotpath annotation names no witness= test or benchmark", rel, lineNo)
+				continue
+			}
+			checked++
+			if !packageDeclares(t, filepath.Dir(path), witness) {
+				t.Errorf("%s:%d: witness %s not found in any *_test.go of the same package", rel, lineNo, witness)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Error("no //detlint:hotpath annotations found outside testdata; the hot paths lost their contract")
+	}
+}
+
+// packageDeclares reports whether any *_test.go in dir declares func name.
+func packageDeclares(t *testing.T, dir, name string) bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(src), "func "+name+"(") {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleRoot walks up from the test's working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/analysistest"
+	"github.com/dramstudy/rhvpp/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotalloc.Analyzer, "a", "clean", "iface")
+}

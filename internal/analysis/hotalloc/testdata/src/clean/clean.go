@@ -1,0 +1,51 @@
+// Package clean holds hot functions written in the workspace-reuse style
+// the analyzer demands: no diagnostics anywhere in this file.
+package clean
+
+// W is a reusable workspace in the style of spice.Workspace.
+type W struct {
+	buf   []float64
+	names map[string]int
+}
+
+// Step reuses preallocated memory: indexed writes, self-append after a
+// length reset, map reads, pointer arguments. Nothing here allocates per
+// call.
+//
+//detlint:hotpath witness=BenchmarkStep
+func (w *W) Step(xs []float64) float64 {
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, xs...)
+	var sum float64
+	for i := range w.buf {
+		w.buf[i] *= 2
+		sum += w.buf[i]
+	}
+	return sum + float64(w.names["x"])
+}
+
+// Lazy amortizes a one-time allocation behind a reasoned suppression, the
+// sanctioned escape hatch for lazy init.
+//
+//detlint:hotpath witness=BenchmarkLazy
+func (w *W) Lazy() {
+	if w.names == nil {
+		w.names = make(map[string]int) //detlint:ignore hotalloc one-time lazy init, amortized to 0 allocs/run
+	}
+}
+
+// useHelper calls an allocation-free same-package helper; the cone stays
+// clean.
+//
+//detlint:hotpath witness=BenchmarkHelper
+func useHelper(x int) int {
+	return double(x)
+}
+
+func double(x int) int { return x * 2 }
+
+// coldAlloc is never reached from a hot root: its allocations are fine
+// (it still gets an exported fact for importers, but no local report).
+func coldAlloc(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,39 @@
+// Package iface checks hotness propagation through interface
+// satisfaction: a hot function calling through an interface makes every
+// same-package concrete implementation of that method hot, so hiding an
+// allocation behind an interface does not drop it from the contract.
+package iface
+
+type adder interface {
+	add(x float64)
+}
+
+// Accumulate dispatches through the adder interface; scratchAdder.add and
+// cleanAdder.add are its package-local implementations.
+//
+//detlint:hotpath witness=BenchmarkAccumulate
+func Accumulate(a adder, xs []float64) {
+	for _, x := range xs {
+		a.add(x)
+	}
+}
+
+type scratchAdder struct {
+	scratch []float64
+}
+
+func (s *scratchAdder) add(x float64) {
+	s.scratch = append(s.scratch, x) // self-append reuse: clean
+	tmp := make([]float64, 1)        // want "make in add \\(hot via Accumulate\\)"
+	tmp[0] = x
+}
+
+type cleanAdder struct{ sum float64 }
+
+func (c *cleanAdder) add(x float64) { c.sum += x }
+
+// freeAdder also has an add method but takes an int, so it does not
+// satisfy adder; its allocation stays undiagnosed.
+type freeAdder struct{ vals []int }
+
+func (f *freeAdder) add(x int) { f.vals = append([]int{}, x) }

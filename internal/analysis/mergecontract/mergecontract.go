@@ -1,0 +1,388 @@
+// Package mergecontract defines an analyzer that checks the shard-merge
+// protocol obligations of accumulator types.
+//
+// Sharded campaigns serialize per-shard partial accumulators to JSON
+// artifacts and fold them back with Merge methods (internal/stats
+// accumulators inside the artifact envelope; see docs/CONTRACTS.md). A
+// type declaring Merge therefore carries three obligations the compiler
+// cannot check, and each failure corrupts merged campaigns silently
+// rather than loudly:
+//
+//  1. Coverage — Merge must read or write every field of the receiver
+//     struct (or copy the whole value). A field left out of Merge keeps
+//     its zero value in the merged result: the shard that computed it is
+//     silently dropped.
+//
+//  2. Serializability — the type must survive the JSON round trip to the
+//     shard artifact. Unless the type provides its own MarshalJSON and
+//     UnmarshalJSON codec (the internal/stats pattern for unexported
+//     accumulator state), every field must be exported and must not
+//     contain funcs, channels, complex numbers, or float-keyed maps
+//     (encoding/json cannot encode any of them).
+//
+//  3. Merge determinism — inside Merge, ranging over a map is allowed
+//     only for order-insensitive folds (per-key updates such as
+//     counts[k] += c, or integer totals). Floating-point accumulation
+//     into a shared cell, appends, and ordered-sink calls fed by map
+//     iteration make merged artifact bytes depend on Go's randomized map
+//     order, breaking the byte-identical shard-equivalence contract.
+//
+// The obligations are deliberately checkable per package: Merge methods,
+// their receiver fields, and their bodies all live with the type.
+package mergecontract
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/detlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mergecontract",
+	Doc: "checks shard-merge accumulator types (those declaring Merge): every field covered by Merge, " +
+		"JSON round-trip survivability, and no order-sensitive map iteration inside Merge",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// sinkMethods are calls that observe their arguments in call order; feeding
+// them map iteration values inside Merge makes the fold order-dependent.
+// The list mirrors maporder's, minus the print family (Merge bodies that
+// print are already suspect for other reasons).
+var sinkMethods = map[string]bool{
+	"Add": true, "Merge": true, "Observe": true,
+	"Write": true, "WriteString": true, "Encode": true,
+}
+
+// sortFuncs launder a collected slice into a deterministic order.
+var sortFuncs = map[string]bool{
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true, "sort.Stable": true,
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	rep := detlint.NewReporter(pass)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// checkedTypes dedups the per-type serializability check when a type
+	// declares Merge more than once across instantiations (not expressible
+	// today, but cheap to guard).
+	checkedTypes := make(map[*types.TypeName]bool)
+
+	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Name.Name != "Merge" || decl.Recv == nil || len(decl.Recv.List) != 1 || decl.Body == nil {
+			return
+		}
+		obj, _ := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+		if obj == nil {
+			return
+		}
+		named := receiverNamed(obj)
+		if named == nil || named.Obj().Pkg() != pass.Pkg {
+			return
+		}
+
+		checkMapRanges(pass, rep, decl)
+
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		checkCoverage(pass, rep, decl, named, st)
+		if tn := named.Obj(); !checkedTypes[tn] {
+			checkedTypes[tn] = true
+			checkSerializable(pass, rep, named, st)
+		}
+	})
+	return nil, nil
+}
+
+// receiverNamed resolves a method's receiver base type to its named type.
+func receiverNamed(fn *types.Func) *types.Named {
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return nil
+	}
+	t := types.Unalias(recv.Type())
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// checkCoverage verifies Merge references every field of the receiver
+// struct (directly, through an embedded path, or via a whole-value copy).
+func checkCoverage(pass *analysis.Pass, rep *detlint.Reporter, decl *ast.FuncDecl, named *types.Named, st *types.Struct) {
+	info := pass.TypesInfo
+	var recvObj types.Object
+	if names := decl.Recv.List[0].Names; len(names) == 1 {
+		recvObj = info.Defs[names[0]]
+	}
+
+	covered := make(map[*types.Var]bool)
+	wholeCopy := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel := info.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+				if f, ok := sel.Obj().(*types.Var); ok {
+					covered[f] = true
+				}
+			}
+		case *ast.AssignStmt:
+			// *m = o (or *m = T{...}) covers every field at once.
+			for _, lhs := range n.Lhs {
+				if star, ok := lhs.(*ast.StarExpr); ok {
+					if id, ok := star.X.(*ast.Ident); ok && recvObj != nil && info.Uses[id] == recvObj {
+						wholeCopy = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if wholeCopy {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !covered[f] {
+			rep.Reportf(decl.Name.Pos(),
+				"Merge of %s never reads or writes field %s; the field's per-shard partial is silently dropped when shards fold (cover it, or copy the whole value)",
+				named.Obj().Name(), f.Name())
+		}
+	}
+}
+
+// checkSerializable verifies the type survives the JSON round trip to the
+// shard artifact. A type providing its own MarshalJSON/UnmarshalJSON codec
+// is trusted wholesale — that is how internal/stats serializes unexported
+// accumulator state.
+func checkSerializable(pass *analysis.Pass, rep *detlint.Reporter, named *types.Named, st *types.Struct) {
+	if hasCodec(named) {
+		return
+	}
+	name := named.Obj().Name()
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			rep.Reportf(f.Pos(),
+				"unexported field %s of merge type %s is dropped by the JSON shard round-trip; give %s a MarshalJSON/UnmarshalJSON codec (the internal/stats pattern) or export the field",
+				f.Name(), name, name)
+			continue
+		}
+		if bad := unserializable(f.Type(), make(map[types.Type]bool)); bad != "" {
+			rep.Reportf(f.Pos(),
+				"field %s of merge type %s contains %s, which encoding/json cannot round-trip; the shard artifact silently corrupts it",
+				f.Name(), name, bad)
+		}
+	}
+}
+
+// hasCodec reports whether *T declares both halves of a custom JSON codec.
+func hasCodec(named *types.Named) bool {
+	mset := types.NewMethodSet(types.NewPointer(named))
+	marshal, unmarshal := false, false
+	for i := 0; i < mset.Len(); i++ {
+		switch mset.At(i).Obj().Name() {
+		case "MarshalJSON":
+			marshal = true
+		case "UnmarshalJSON":
+			unmarshal = true
+		}
+	}
+	return marshal && unmarshal
+}
+
+// unserializable walks t's structure and describes the first component
+// encoding/json cannot round-trip ("" when the type is fine). Named types
+// with their own codec are trusted without descending.
+func unserializable(t types.Type, seen map[types.Type]bool) string {
+	t = types.Unalias(t)
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok && hasCodec(n) {
+		return ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Info()&types.IsComplex != 0 {
+			return "a complex number"
+		}
+	case *types.Signature:
+		return "a func value"
+	case *types.Chan:
+		return "a channel"
+	case *types.Pointer:
+		return unserializable(u.Elem(), seen)
+	case *types.Slice:
+		return unserializable(u.Elem(), seen)
+	case *types.Array:
+		return unserializable(u.Elem(), seen)
+	case *types.Map:
+		if k, ok := types.Unalias(u.Key()).Underlying().(*types.Basic); ok && k.Info()&types.IsFloat != 0 {
+			return "a float-keyed map"
+		}
+		return unserializable(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if f := u.Field(i); f.Exported() {
+				if bad := unserializable(f.Type(), seen); bad != "" {
+					return bad
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// checkMapRanges flags order-sensitive consumption of map iteration inside
+// a Merge body. Per-key updates (counts[k] += c) and integer totals are
+// order-insensitive and allowed; float accumulation into a shared cell,
+// unsorted appends, and ordered-sink calls are not.
+func checkMapRanges(pass *analysis.Pass, rep *detlint.Reporter, decl *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !detlint.IsMapType(info.TypeOf(rng.X)) {
+			return true
+		}
+		iterObjs := rangeVarObjects(info, rng)
+		if len(iterObjs) == 0 {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				if m.Tok != token.ADD_ASSIGN && m.Tok != token.SUB_ASSIGN && m.Tok != token.MUL_ASSIGN {
+					return true
+				}
+				if len(m.Lhs) != 1 || !isFloat(info.TypeOf(m.Lhs[0])) {
+					return true
+				}
+				if perKeySlot(info, m.Lhs[0], iterObjs) {
+					return true // counts[k] += v: each key updated once, order-free
+				}
+				if detlint.UsesObject(info, m.Rhs[0], iterObjs...) {
+					rep.Reportf(m.Pos(),
+						"floating-point fold over map iteration in Merge; float addition is not associative, so merged artifact bytes depend on map order — fold over sorted keys or keep per-key slots")
+				}
+			case *ast.CallExpr:
+				if dst, ok := appendDest(info, m); ok {
+					if detlint.UsesObject(info, m, iterObjs...) && !sortedLater(pass, decl.Body, rng, dst) {
+						rep.Reportf(m.Pos(),
+							"append of map iteration values in Merge without a later sort; merged artifact bytes depend on map order — collect and sort before use")
+					}
+					return true
+				}
+				if sel, ok := m.Fun.(*ast.SelectorExpr); ok && sinkMethods[sel.Sel.Name] {
+					args := &ast.CallExpr{Fun: &ast.Ident{Name: "args"}, Args: m.Args}
+					if detlint.UsesObject(info, args, iterObjs...) {
+						rep.Reportf(m.Pos(),
+							"map iteration value flows into ordered sink %s inside Merge; the fold depends on map order — iterate sorted keys",
+							sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// perKeySlot reports whether lhs is an index expression whose index uses a
+// loop variable — a per-key update that each iteration touches exactly once.
+func perKeySlot(info *types.Info, lhs ast.Expr, iterObjs []types.Object) bool {
+	idx, ok := lhs.(*ast.IndexExpr)
+	return ok && detlint.UsesObject(info, idx.Index, iterObjs...)
+}
+
+// rangeVarObjects returns the objects of the loop's key/value variables.
+func rangeVarObjects(info *types.Info, rng *ast.RangeStmt) []types.Object {
+	var objs []types.Object
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id == nil || id.Name == "_" {
+			continue
+		}
+		if obj := info.Defs[id]; obj != nil {
+			objs = append(objs, obj)
+		} else if obj := info.Uses[id]; obj != nil {
+			objs = append(objs, obj)
+		}
+	}
+	return objs
+}
+
+// appendDest reports whether call is append(dst, ...) and returns dst.
+func appendDest(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) < 2 {
+		return nil, false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// sortedLater reports whether dst (an identifier) is passed to a sort
+// function after the range loop, the collect-then-sort idiom.
+func sortedLater(pass *analysis.Pass, body ast.Node, rng *ast.RangeStmt, dst ast.Expr) bool {
+	info := pass.TypesInfo
+	id, ok := dst.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if _, isPkg := info.Uses[pkgID].(*types.PkgName); !isPkg || !sortFuncs[pkgID.Name+"."+sel.Sel.Name] {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && info.Uses[arg] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

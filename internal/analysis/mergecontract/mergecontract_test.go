@@ -1,0 +1,12 @@
+package mergecontract_test
+
+import (
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/analysistest"
+	"github.com/dramstudy/rhvpp/internal/analysis/mergecontract"
+)
+
+func TestMergecontract(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), mergecontract.Analyzer, "a", "clean")
+}

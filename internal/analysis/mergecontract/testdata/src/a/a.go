@@ -1,0 +1,92 @@
+// Package a exercises every mergecontract diagnostic: dropped fields,
+// JSON-hostile state, and order-sensitive map iteration inside Merge.
+package a
+
+// Acc's Merge drops Peak: merged campaigns lose every shard's peak.
+type Acc struct {
+	Sum   float64
+	Count int
+	Peak  float64
+}
+
+func (a *Acc) Merge(o Acc) { // want "Merge of Acc never reads or writes field Peak"
+	a.Sum += o.Sum
+	a.Count += o.Count
+}
+
+// Hidden has unexported state and no custom codec: the JSON round trip
+// through the shard artifact silently zeroes seen.
+type Hidden struct {
+	Total int
+	seen  map[string]int // want "unexported field seen of merge type Hidden"
+}
+
+func (h *Hidden) Merge(o Hidden) {
+	h.Total += o.Total
+	if h.seen == nil {
+		h.seen = make(map[string]int, len(o.seen))
+	}
+	for k, c := range o.seen {
+		h.seen[k] += c
+	}
+}
+
+// Bad carries exported state encoding/json cannot encode at all.
+type Bad struct {
+	Done  chan int        // want "field Done of merge type Bad contains a channel"
+	Hook  func()          // want "field Hook of merge type Bad contains a func value"
+	Keyed map[float64]int // want "field Keyed of merge type Bad contains a float-keyed map"
+}
+
+func (b *Bad) Merge(o Bad) {
+	b.Done = o.Done
+	b.Hook = o.Hook
+	for k, c := range o.Keyed {
+		b.Keyed[k] += c
+	}
+}
+
+// Fold accumulates a float total across map iterations: the merged mean
+// depends on Go's randomized map order.
+type Fold struct {
+	Total float64
+	ByKey map[string]float64
+}
+
+func (f *Fold) Merge(o Fold) {
+	for k, v := range o.ByKey {
+		f.ByKey[k] += v
+		f.Total += v // want "floating-point fold over map iteration in Merge"
+	}
+}
+
+// Log appends map keys without sorting them afterwards.
+type Log struct {
+	Keys []string
+	Seen map[string]bool
+}
+
+func (l *Log) Merge(o Log) {
+	for k := range o.Seen {
+		l.Seen[k] = true
+		l.Keys = append(l.Keys, k) // want "append of map iteration values in Merge without a later sort"
+	}
+}
+
+// counter is an ordered sink: Add observes its arguments in call order.
+type counter struct{ total float64 }
+
+func (c *counter) Add(x float64) { c.total += x }
+
+// Routed feeds map iteration values into that sink.
+type Routed struct {
+	Agg   counter
+	PerID map[string]float64
+}
+
+func (r *Routed) Merge(o Routed) {
+	r.Agg = o.Agg
+	for _, v := range o.PerID {
+		r.Agg.Add(v) // want "ordered sink Add inside Merge"
+	}
+}

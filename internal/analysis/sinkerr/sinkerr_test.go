@@ -1,0 +1,12 @@
+package sinkerr_test
+
+import (
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/analysistest"
+	"github.com/dramstudy/rhvpp/internal/analysis/sinkerr"
+)
+
+func TestSinkerr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sinkerr.Analyzer, "a", "clean")
+}

@@ -1,0 +1,78 @@
+// Package a exercises every sinkerr diagnostic: discarded, blanked,
+// deferred-away, and shadowed errors from error-critical calls.
+package a
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// Discard drops errors by using critical calls as statements.
+func Discard(w io.Writer, v any) {
+	json.NewEncoder(w).Encode(v) // want "discarded error from json.Encoder.Encode"
+	os.Remove("x")               // want "discarded error from os.Remove"
+}
+
+// Blank drops errors by assigning them to _.
+func Blank(w io.Writer, p []byte) {
+	_ = os.WriteFile("x", p, 0o644) // want "error from os.WriteFile assigned to _"
+	n, _ := w.Write(p)              // want "error from io.Writer.Write assigned to _"
+	_ = n
+}
+
+// Deferred loses whatever Close reports.
+func Deferred(f *os.File) {
+	defer f.Close() // want "deferred call to os.File.Close discards its error"
+}
+
+// Shadow overwrites an unread error in straight-line code: the first
+// Encode failure is lost even though err itself is "used".
+func Shadow(w io.Writer, a, b any) error {
+	enc := json.NewEncoder(w)
+	err := enc.Encode(a) // want "stored in err is overwritten before being read"
+	err = enc.Encode(b)
+	return err
+}
+
+// Checked is the correct shape everywhere: no diagnostics.
+func Checked(w io.Writer, p []byte, a, b any) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(a); err != nil {
+		return err
+	}
+	err := enc.Encode(b)
+	if err != nil {
+		return err
+	}
+	if _, err = w.Write(p); err != nil {
+		return err
+	}
+	return os.Remove("x")
+}
+
+// Suppressed documents a deliberate discard with a reason.
+func Suppressed(f *os.File) {
+	defer f.Close() //detlint:ignore sinkerr read-only descriptor, close error carries no data loss
+}
+
+// NonCritical calls are never flagged, even when their errors vanish:
+// only the shard-protocol and artifact I/O packages are in the set.
+func NonCritical(s string) {
+	parse(s)
+	_ = parse(s)
+}
+
+func parse(s string) error { return nil }
+
+// Unreasoned shows the suppression interplay: an ignore without a reason
+// suppresses nothing — it is itself diagnosed AND the discard still fires.
+func Unreasoned(w io.Writer, p []byte) {
+	w.Write(p) //detlint:ignore sinkerr // want "directive has no reason" "discarded error from io.Writer.Write"
+}
+
+// CrossAnalyzer shows a reasoned ignore naming a DIFFERENT analyzer leaves
+// sinkerr diagnostics alone: suppression is per-analyzer, per-line.
+func CrossAnalyzer(w io.Writer, p []byte) {
+	w.Write(p) //detlint:ignore hotalloc reused buffer, measured elsewhere // want "discarded error from io.Writer.Write"
+}

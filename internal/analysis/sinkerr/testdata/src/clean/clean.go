@@ -1,0 +1,48 @@
+// Package clean handles every critical error properly: no diagnostics.
+package clean
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+)
+
+// WriteAtomic is the repo's artifact-write shape: explicit Close with its
+// error checked, deferred cleanup suppressed with a reason.
+func WriteAtomic(path string, v any) error {
+	tmp, err := os.CreateTemp("", "artifact-*.json")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) //detlint:ignore sinkerr best-effort cleanup, a leftover temp file loses no data
+	if err := json.NewEncoder(tmp).Encode(v); err != nil {
+		tmp.Close() //detlint:ignore sinkerr already failing, the encode error is the one to surface
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Digest writes into a hash: the method resolves to the embedded
+// io.Writer.Write, but the receiver's static type lives in package hash,
+// whose writes never fail — classification follows the receiver, so no
+// diagnostic.
+func Digest(parts ...[]byte) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	return h.Sum64()
+}
+
+// Copy reads errors through the usual wrap-and-return chain.
+func Copy(dst io.Writer, src io.Reader) error {
+	if _, err := io.Copy(dst, src); err != nil {
+		return fmt.Errorf("copying artifact: %w", err)
+	}
+	return nil
+}

@@ -1,6 +1,8 @@
 // Package suite assembles the full detlint analyzer family. cmd/detlint
-// runs exactly this list; docs/DETERMINISM.md maps each analyzer to the
-// invariant it guards.
+// runs exactly this list; docs/DETERMINISM.md maps each gen-1 analyzer to
+// the invariant it guards, and docs/CONTRACTS.md does the same for the
+// gen-2 perf- and merge-contract analyzers (hotalloc, mergecontract,
+// sinkerr).
 package suite
 
 import (
@@ -8,8 +10,11 @@ import (
 
 	"github.com/dramstudy/rhvpp/internal/analysis/ctxloop"
 	"github.com/dramstudy/rhvpp/internal/analysis/detsource"
+	"github.com/dramstudy/rhvpp/internal/analysis/hotalloc"
 	"github.com/dramstudy/rhvpp/internal/analysis/maporder"
+	"github.com/dramstudy/rhvpp/internal/analysis/mergecontract"
 	"github.com/dramstudy/rhvpp/internal/analysis/shardsafe"
+	"github.com/dramstudy/rhvpp/internal/analysis/sinkerr"
 	"github.com/dramstudy/rhvpp/internal/analysis/totalcmp"
 )
 
@@ -18,8 +23,11 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxloop.Analyzer,
 		detsource.Analyzer,
+		hotalloc.Analyzer,
 		maporder.Analyzer,
+		mergecontract.Analyzer,
 		shardsafe.Analyzer,
+		sinkerr.Analyzer,
 		totalcmp.Analyzer,
 	}
 }

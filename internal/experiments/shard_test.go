@@ -242,7 +242,7 @@ func TestAssembleRejectsIncompleteOrForeignData(t *testing.T) {
 		t.Errorf("error should name the missing unit: %v", err)
 	}
 	var d stats.Dist
-	raw, _ := json.Marshal(d)
+	raw, _ := json.Marshal(d) //detlint:ignore sinkerr marshal of a zero-value fixture cannot fail
 	data := map[string]json.RawMessage{"B3": raw, "C0": raw, "A9": raw}
 	if _, err := AssembleCVStudy(o, data); err == nil {
 		t.Error("surplus unit assembled")
@@ -252,7 +252,7 @@ func TestAssembleRejectsIncompleteOrForeignData(t *testing.T) {
 		t.Error("corrupt payload assembled")
 	}
 	// Wire partials naming modules outside the catalog are rejected.
-	w, _ := json.Marshal(moduleSweepWire{Module: "ZZ"})
+	w, _ := json.Marshal(moduleSweepWire{Module: "ZZ"}) //detlint:ignore sinkerr marshal of a literal fixture cannot fail
 	rhData := map[string]json.RawMessage{"B3": w, "C0": w}
 	if _, err := AssembleRowHammerStudy(o, rhData); err == nil {
 		t.Error("unknown module in sweep partial accepted")
@@ -303,7 +303,7 @@ func TestAssembleRetentionRejectsMalformedGrid(t *testing.T) {
 			m.Sum[i] = make([]float64, winCols)
 			m.Count[i] = make([]int, winCols)
 		}
-		raw, _ := json.Marshal(m)
+		raw, _ := json.Marshal(m) //detlint:ignore sinkerr marshal of an all-numeric fixture cannot fail
 		return raw
 	}
 	good := mk(len(windows))

@@ -34,8 +34,11 @@ func Run[In, Out any](ctx context.Context, jobs int, items []In,
 		return out, nil
 	}
 
-	parent := ctx
-	ctx, cancel := context.WithCancel(ctx)
+	// The pool's cancelable context lives in a new variable: reassigning the
+	// ctx parameter would make the worker closures capture it by reference,
+	// heap-allocating the parameter at entry — a cost even the serial path
+	// above would pay on every call.
+	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	errs := make([]error, len(items))
 	next := make(chan int)
@@ -45,7 +48,7 @@ func Run[In, Out any](ctx context.Context, jobs int, items []In,
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				res, err := fn(ctx, items[i])
+				res, err := fn(wctx, items[i])
 				if err != nil {
 					errs[i] = err
 					cancel() // stop handing out new items
@@ -59,7 +62,7 @@ feed:
 	for i := range items {
 		select {
 		case next <- i:
-		case <-ctx.Done():
+		case <-wctx.Done():
 			break feed
 		}
 	}
@@ -68,7 +71,7 @@ feed:
 
 	// The caller's cancellation wins; otherwise prefer the lowest-index
 	// genuine failure over cancellation fallout from our own cancel().
-	if err := parent.Err(); err != nil {
+	if err := ctx.Err(); err != nil {
 		return out, err
 	}
 	for _, err := range errs {
@@ -97,6 +100,8 @@ feed:
 // consumption is in order — cancels the remaining work and is returned;
 // the caller's cancellation takes precedence. With jobs <= 1 the pool
 // degenerates to a plain serial loop on the calling goroutine.
+//
+//detlint:hotpath witness=TestRunOrderedAllocsIndependentOfN
 func RunOrdered[Out any](ctx context.Context, jobs, n int,
 	fn func(ctx context.Context, i int) (Out, error),
 	consume func(i int, out Out) error) error {
@@ -122,8 +127,9 @@ func RunOrdered[Out any](ctx context.Context, jobs, n int,
 		return nil
 	}
 
-	parent := ctx
-	ctx, cancel := context.WithCancel(ctx)
+	// As in Run, the cancelable context gets its own variable so the ctx
+	// parameter stays capture-by-value and the serial path stays 0-alloc.
+	wctx, cancel := context.WithCancel(ctx) //detlint:ignore hotalloc O(jobs) setup, amortized across the n runs
 	defer cancel()
 
 	type slot struct {
@@ -137,39 +143,39 @@ func RunOrdered[Out any](ctx context.Context, jobs, n int,
 	// rendezvous for exactly one pending index — and bounds memory at
 	// O(jobs) results regardless of worker skew.
 	window := 2 * jobs
-	ring := make([]chan slot, window)
+	ring := make([]chan slot, window) //detlint:ignore hotalloc O(jobs) setup, amortized across the n runs
 	for i := range ring {
-		ring[i] = make(chan slot, 1)
+		ring[i] = make(chan slot, 1) //detlint:ignore hotalloc O(jobs) setup, amortized across the n runs
 	}
-	tokens := make(chan struct{}, window)
-	next := make(chan int)
+	tokens := make(chan struct{}, window) //detlint:ignore hotalloc O(jobs) setup, amortized across the n runs
+	next := make(chan int)                //detlint:ignore hotalloc O(jobs) setup, amortized across the n runs
 
 	var wg sync.WaitGroup
 	wg.Add(jobs)
 	for w := 0; w < jobs; w++ {
-		go func() {
+		go func() { //detlint:ignore hotalloc O(jobs) worker setup, amortized across the n runs
 			defer wg.Done()
 			for i := range next {
-				out, err := fn(ctx, i)
+				out, err := fn(wctx, i)
 				select {
 				case ring[i%window] <- slot{out, err}:
-				case <-ctx.Done():
+				case <-wctx.Done():
 					return
 				}
 			}
 		}()
 	}
-	go func() {
+	go func() { //detlint:ignore hotalloc one feeder goroutine, amortized across the n runs
 		defer close(next)
 		for i := 0; i < n; i++ {
 			select {
 			case tokens <- struct{}{}:
-			case <-ctx.Done():
+			case <-wctx.Done():
 				return
 			}
 			select {
 			case next <- i:
-			case <-ctx.Done():
+			case <-wctx.Done():
 				return
 			}
 		}
@@ -189,13 +195,13 @@ consumeLoop:
 				break consumeLoop
 			}
 			<-tokens
-		case <-ctx.Done():
+		case <-wctx.Done():
 			break consumeLoop
 		}
 	}
 	cancel()
 	wg.Wait()
-	if err := parent.Err(); err != nil {
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	return firstErr

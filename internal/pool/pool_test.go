@@ -184,3 +184,37 @@ func TestRunOrderedHonorsCallerCancellation(t *testing.T) {
 		t.Fatalf("empty ordered run: %v", err)
 	}
 }
+
+// TestRunOrderedAllocsIndependentOfN is the runtime witness for the
+// //detlint:hotpath contract on RunOrdered: the pool allocates O(jobs) at
+// setup and nothing per delivered result, so total allocations do not grow
+// with n, and the serial path allocates nothing at all.
+func TestRunOrderedAllocsIndependentOfN(t *testing.T) {
+	run := func(n int) float64 {
+		return testing.AllocsPerRun(5, func() {
+			sum := 0
+			err := RunOrdered(context.Background(), 4, n,
+				func(_ context.Context, i int) (int, error) { return i, nil },
+				func(_ int, out int) error { sum += out; return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := run(64), run(1024)
+	// A per-result allocation would add ~960 here; the slack only absorbs
+	// runtime noise (sudog cache refills, goroutine stack growth).
+	if large > small+32 {
+		t.Errorf("allocs grew with n: n=64 -> %v, n=1024 -> %v", small, large)
+	}
+	if serial := testing.AllocsPerRun(10, func() {
+		err := RunOrdered(context.Background(), 1, 128,
+			func(_ context.Context, i int) (int, error) { return i, nil },
+			func(int, int) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); serial > 0 {
+		t.Errorf("serial RunOrdered allocates %v per call, want 0", serial)
+	}
+}

@@ -150,7 +150,7 @@ func solveDense(a []float64, b []float64, n int) error {
 			}
 		}
 		if max < 1e-18 {
-			return fmt.Errorf("%w (column %d)", ErrSingular, col)
+			return fmt.Errorf("%w (column %d)", ErrSingular, col) //detlint:ignore hotalloc error path, never taken by a solvable system
 		}
 		if pivot != col {
 			for k := col; k < n; k++ {

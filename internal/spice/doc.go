@@ -46,4 +46,12 @@
 // is bit-identical to a fresh simulation and allocation-free in steady
 // state. MCResult.Merge folds same-level run-range partials in run order
 // for sharded campaigns.
+//
+// The allocation-free property is a checked contract, not a convention:
+// the stepping core (Transient.Step, Reset, setDt, stampCellValues) and
+// the aggregation fold (MCResult.record) carry //detlint:hotpath
+// annotations naming their runtime AllocsPerRun witnesses, and the
+// hotalloc analyzer flags any heap allocation reachable from them (see
+// docs/CONTRACTS.md). MCResult is likewise under the mergecontract
+// analyzer's coverage/serializability checks.
 package spice

@@ -189,11 +189,13 @@ func buildCellCircuit(p CellParams) (*Circuit, cellNodes, cellWaves) {
 // waveforms, and initial conditions of the netlist into an already-built
 // circuit. It runs both at construction and on Workspace reuse, so both
 // paths see exactly the same values.
+//
+//detlint:hotpath witness=TestWorkspaceSimulateAllocs
 func stampCellValues(ckt *Circuit, n cellNodes, w cellWaves, p CellParams) {
 	// Element order matches buildCellCircuit.
 	ckt.caps[0].farads = p.CellC
 	half := p.BLC / 2
-	for _, i := range []int{1, 2, 3, 4} {
+	for i := 1; i <= 4; i++ {
 		ckt.caps[i].farads = half
 	}
 	ckt.resistors[0].ohms = p.CellR
@@ -219,7 +221,7 @@ func stampCellValues(ckt *Circuit, n cellNodes, w cellWaves, p CellParams) {
 	// restoration (this is the §6.1/§6.2 coupling: reduced VPP stores less
 	// charge, shrinking the sensing perturbation).
 	vcell0 := p.SaturationV()
-	for _, node := range []int{n.blc, n.bls, n.blbc, n.blbs} {
+	for _, node := range [...]int{n.blc, n.bls, n.blbc, n.blbs} {
 		ckt.SetInitial(node, vpre)
 	}
 	ckt.SetInitial(n.cellC, vcell0)

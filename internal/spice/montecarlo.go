@@ -42,6 +42,8 @@ type MCResult struct {
 }
 
 // record classifies one run's outcome into the campaign aggregates.
+//
+//detlint:hotpath witness=TestMCAggregationAllocsIndependentOfRuns
 func (r *MCResult) record(out ActivationResult, noConverge bool) {
 	if noConverge {
 		r.NoConverge++

@@ -106,6 +106,8 @@ func (tr *Transient) Time() float64 { return tr.t }
 // circuit's R/C/MOS values and initial voltages in place (the topology must
 // be unchanged), Reset makes the next Step sequence bit-identical to a
 // freshly constructed Transient over the same circuit.
+//
+//detlint:hotpath witness=TestWorkspaceSimulateAllocs
 func (tr *Transient) Reset() {
 	tr.t = 0
 	tr.dt = tr.baseDt
@@ -145,6 +147,8 @@ func (tr *Transient) vPrev(node int) float64 {
 // setDt switches the integration step size. Capacitor companion
 // conductances are C/dt, so the reduced engine's static stamps are rebuilt;
 // the Newton history survives, only the extrapolating predictor resets.
+//
+//detlint:hotpath witness=TestWorkspaceSimulateAllocs
 func (tr *Transient) setDt(dt float64) {
 	if dt == tr.dt {
 		return
@@ -210,6 +214,8 @@ func (tr *Transient) load(s *engineState) {
 }
 
 // Step advances the simulation by one time step.
+//
+//detlint:hotpath witness=TestWorkspaceSimulateAllocs
 func (tr *Transient) Step() error {
 	if tr.red != nil {
 		return tr.stepReduced()
@@ -426,7 +432,7 @@ func (r *reduced) stampMOSAnalytic(m mosfet) {
 	ieq := id - gdd*vd - gdg*vg - gds*vs
 
 	ku := r.ku
-	add := func(row, term int, coeff float64) {
+	add := func(row, term int, coeff float64) { //detlint:ignore hotalloc non-escaping closure, called in place; the witness asserts 0 allocs/run
 		if rt := r.reducedOf(term); rt >= 0 {
 			r.a[row*ku+rt] += coeff
 		} else if r.drivenNode(term) {
@@ -492,7 +498,7 @@ func (tr *Transient) stepReduced() error {
 			r.stampMOSAnalytic(m)
 		}
 		if err := solveDense(r.a, r.z, r.ku); err != nil {
-			return fmt.Errorf("t=%.3gs: %w", tNext, err)
+			return fmt.Errorf("t=%.3gs: %w", tNext, err) //detlint:ignore hotalloc error path, never taken by a converging run
 		}
 		// tr.red.z now holds the solution.
 		maxDelta := 0.0
@@ -526,7 +532,7 @@ func (tr *Transient) stepReduced() error {
 			return nil
 		}
 	}
-	return fmt.Errorf("t=%.3gs: %w", tNext, ErrNoConverge)
+	return fmt.Errorf("t=%.3gs: %w", tNext, ErrNoConverge) //detlint:ignore hotalloc error path, never taken by a converging run
 }
 
 // ---------------------------------------------------------------------------
@@ -541,7 +547,7 @@ func (tr *Transient) stepDense() error {
 	for iter := 0; iter < newtonMaxIters; iter++ {
 		tr.assembleDense(tNext)
 		if err := solveDense(tr.a, tr.z, tr.dim); err != nil {
-			return fmt.Errorf("t=%.3gs: %w", tNext, err)
+			return fmt.Errorf("t=%.3gs: %w", tNext, err) //detlint:ignore hotalloc error path, never taken by a converging run
 		}
 		// tr.z now holds the solution.
 		maxDelta := 0.0
@@ -567,7 +573,7 @@ func (tr *Transient) stepDense() error {
 			return nil
 		}
 	}
-	return fmt.Errorf("t=%.3gs: %w", tNext, ErrNoConverge)
+	return fmt.Errorf("t=%.3gs: %w", tNext, ErrNoConverge) //detlint:ignore hotalloc error path, never taken by a converging run
 }
 
 // assembleDense builds the full MNA system linearized around the current
@@ -581,7 +587,7 @@ func (tr *Transient) assembleDense(t float64) {
 	}
 	dim := tr.dim
 
-	stampG := func(a, b int, g float64) {
+	stampG := func(a, b int, g float64) { //detlint:ignore hotalloc dense reference oracle; the 0-alloc contract covers the reduced engine
 		if a > 0 {
 			tr.a[(a-1)*dim+(a-1)] += g
 		}
@@ -593,12 +599,12 @@ func (tr *Transient) assembleDense(t float64) {
 			tr.a[(b-1)*dim+(a-1)] -= g
 		}
 	}
-	inject := func(node int, amps float64) {
+	inject := func(node int, amps float64) { //detlint:ignore hotalloc dense reference oracle; the 0-alloc contract covers the reduced engine
 		if node > 0 {
 			tr.z[node-1] += amps
 		}
 	}
-	vAt := func(node int) float64 {
+	vAt := func(node int) float64 { //detlint:ignore hotalloc dense reference oracle; the 0-alloc contract covers the reduced engine
 		if node == Ground {
 			return 0
 		}
@@ -654,7 +660,7 @@ func (tr *Transient) stampMOSFD(m mosfet, vAt func(int) float64,
 	gds := (idS - id0) / h
 
 	dim := tr.dim
-	addA := func(row, col int, v float64) {
+	addA := func(row, col int, v float64) { //detlint:ignore hotalloc dense reference oracle; the 0-alloc contract covers the reduced engine
 		if row > 0 && col > 0 {
 			tr.a[(row-1)*dim+(col-1)] += v
 		}

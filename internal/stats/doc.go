@@ -46,4 +46,11 @@
 // Note that P2Quantile and P2Summary do not survive the JSON round-trip
 // and therefore must not appear in shard-artifact partials; the shardsafe
 // analyzer enforces this (see docs/DETERMINISM.md).
+//
+// The streaming accumulators' Add methods carry //detlint:hotpath
+// annotations: the hotalloc analyzer keeps them free of per-sample heap
+// allocations (ValueCounts' one-time lazy map init is the single reasoned
+// exception), and the mergecontract analyzer checks every Merge method
+// covers all serialized state. Both contracts are catalogued in
+// docs/CONTRACTS.md.
 package stats

@@ -3,7 +3,7 @@ package stats
 import (
 	"encoding/json"
 	"math"
-	"math/rand"
+	"math/rand" //detlint:ignore detsource test-local fixed-seed source, never reaches library code
 	"testing"
 )
 

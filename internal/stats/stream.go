@@ -56,6 +56,8 @@ type Moments struct {
 }
 
 // Add folds one sample.
+//
+//detlint:hotpath witness=TestAccumulatorAddAllocsFree
 func (m *Moments) Add(x float64) {
 	m.n++
 	m.sum += x
@@ -130,6 +132,8 @@ type MinMax struct {
 }
 
 // Add folds one sample.
+//
+//detlint:hotpath witness=TestAccumulatorAddAllocsFree
 func (m *MinMax) Add(x float64) {
 	if m.n == 0 || x < m.min {
 		m.min = x
@@ -189,6 +193,8 @@ type Fraction struct {
 func NewFraction(threshold float64) Fraction { return Fraction{Threshold: threshold} }
 
 // Add folds one sample.
+//
+//detlint:hotpath witness=TestAccumulatorAddAllocsFree
 func (f *Fraction) Add(x float64) {
 	f.n++
 	if x < f.Threshold {
@@ -363,13 +369,15 @@ type ValueCounts struct {
 }
 
 // Add folds one sample.
+//
+//detlint:hotpath witness=TestDistAggregationAllocatesO1
 func (v *ValueCounts) Add(x float64) {
 	if math.IsNaN(x) || math.IsInf(x, 0) {
 		v.nonFinite++
 		return
 	}
 	if v.counts == nil {
-		v.counts = make(map[float64]int)
+		v.counts = make(map[float64]int) //detlint:ignore hotalloc one-time lazy init, amortized to 0 allocs/run
 	}
 	v.counts[x]++
 	v.n++
@@ -647,6 +655,8 @@ type Dist struct {
 // N() and Mean() never disagree with the quantiles about the population),
 // counted by Counts, and reported as an error by Summary and the
 // order-statistic queries.
+//
+//detlint:hotpath witness=TestDistAggregationAllocatesO1
 func (d *Dist) Add(x float64) {
 	if math.IsNaN(x) || math.IsInf(x, 0) {
 		d.Counts.Add(x) // records the non-finite count only

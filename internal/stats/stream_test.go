@@ -2,7 +2,7 @@ package stats
 
 import (
 	"math"
-	"math/rand"
+	"math/rand" //detlint:ignore detsource test-local fixed-seed source, never reaches library code
 	"testing"
 	"testing/quick"
 )
@@ -529,5 +529,24 @@ func TestDistAggregationAllocatesO1(t *testing.T) {
 	}
 	if d.Counts.Distinct() != len(grid) {
 		t.Errorf("distinct = %d, want %d", d.Counts.Distinct(), len(grid))
+	}
+}
+
+// TestAccumulatorAddAllocsFree is the runtime witness for the scalar
+// accumulators' //detlint:hotpath contract: a steady-state Add performs no
+// heap allocation at all.
+func TestAccumulatorAddAllocsFree(t *testing.T) {
+	var m Moments
+	var mm MinMax
+	f := NewFraction(0.5)
+	i := 0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		x := float64(i%7) * 0.25
+		m.Add(x)
+		mm.Add(x)
+		f.Add(x)
+		i++
+	}); allocs > 0 {
+		t.Errorf("scalar accumulator Add allocates %v per sample, want 0", allocs)
 	}
 }

@@ -191,10 +191,10 @@ func (r ProcRunner) runShardProc(ctx context.Context, o Options, shard, of int, 
 	if err != nil {
 		return nil, err
 	}
-	defer os.Remove(req.Name())
+	defer os.Remove(req.Name()) //detlint:ignore sinkerr best-effort temp cleanup of the request file
 	enc := json.NewEncoder(req)
 	if err := enc.Encode(ShardRequest{Shard: shard, Of: of, Options: o, Units: units}); err != nil {
-		req.Close()
+		req.Close() //detlint:ignore sinkerr already failing, the encode error is the one to surface
 		return nil, err
 	}
 	if err := req.Close(); err != nil {

@@ -76,6 +76,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		stride   = fs.Int("stride", 0, "VPP sweep stride (1 = every 0.1V level)")
 		mcRuns   = fs.Int("mc", 0, "SPICE Monte-Carlo runs per voltage (0 = default)")
 		lteTol   = fs.Float64("ltetol", 0, "adaptive SPICE step-doubling error tolerance in volts (0 = engine default; beyond the default the fixed-grid crossing equivalence is best-effort)")
+		batchW   = fs.Int("batch", 0, "SPICE Monte-Carlo lockstep lanes per worker (0 = engine default, 1 = scalar; output is byte-identical at every width)")
 		fixGrid  = fs.Bool("fixed-grid", false, "integrate the SPICE Monte-Carlo on the historical fixed 25 ps grid (disables adaptive stepping)")
 		full     = fs.Bool("full", false, "use the paper's full-scale parameters (same as -preset paper)")
 		preset   = fs.String("preset", "", "campaign preset: default, paper, or golden (the pinned regression scope)")
@@ -135,6 +136,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if *lteTol != 0 {
 		o.SpiceLTETolV = *lteTol // negative rejected by Options.Validate
+	}
+	if *batchW != 0 {
+		o.SpiceBatchWidth = *batchW // out-of-range rejected by Options.Validate
 	}
 	o.SpiceFixedGrid = *fixGrid
 	o.Jobs = *jobs

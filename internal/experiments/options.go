@@ -8,6 +8,7 @@ import (
 
 	"github.com/dramstudy/rhvpp/internal/core"
 	"github.com/dramstudy/rhvpp/internal/physics"
+	"github.com/dramstudy/rhvpp/internal/spice"
 )
 
 // Options scales the experiment campaign. The paper's full scale (272 chips,
@@ -52,6 +53,13 @@ type Options struct {
 	// default loosen the fixed-grid-equivalence guarantee; see
 	// docs/ARCHITECTURE.md for the accuracy contract.
 	SpiceLTETolV float64 `json:",omitempty"`
+	// SpiceBatchWidth sets how many Monte-Carlo runs the SPICE engine
+	// advances in lockstep per worker (0 = the engine default, 1 = the
+	// scalar path, up to spice.MaxBatchWidth). Every width produces
+	// byte-identical campaign output — lanes replicate the scalar engine's
+	// float-op sequence exactly — so this is a throughput knob, excluded
+	// from the canonical options fingerprint like Jobs.
+	SpiceBatchWidth int `json:",omitempty"`
 }
 
 // Default returns a laptop-scale campaign preserving the paper's structure.
@@ -102,6 +110,9 @@ func (o Options) Validate() error {
 	}
 	if o.SpiceLTETolV < 0 {
 		return fmt.Errorf("experiments: SpiceLTETolV %g is negative (use 0 for the engine default, or a positive tolerance in volts)", o.SpiceLTETolV)
+	}
+	if o.SpiceBatchWidth < 0 || o.SpiceBatchWidth > spice.MaxBatchWidth {
+		return fmt.Errorf("experiments: SpiceBatchWidth %d is outside [0, %d] (use 0 for the engine default, 1 for the scalar path)", o.SpiceBatchWidth, spice.MaxBatchWidth)
 	}
 	_, err := o.profiles()
 	return err

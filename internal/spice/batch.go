@@ -1,0 +1,1175 @@
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Batched lockstep Monte-Carlo engine.
+//
+// Every Monte-Carlo run solves the SAME reduced MNA structure — the Table 2
+// netlist's topology, node reduction, driven-source schedule, and stamp
+// lists never vary, only the element VALUES drawn by Vary do. BatchWorkspace
+// exploits that: K runs ("lanes") advance in lockstep through one
+// struct-of-arrays workspace, so the per-step structure walk (source
+// waveform evaluation, capacitor companion schedule, MOSFET stamp list,
+// Newton bookkeeping) is paid once per step for all lanes while the per-lane
+// float arithmetic runs over contiguous per-lane slabs.
+//
+// Determinism is by construction, not by tolerance: each lane executes
+// exactly the scalar engine's floating-point operation sequence — the same
+// stamps in the same assembly order, the same solveDense elimination, the
+// same Newton damping and convergence tests — on its own values. The only
+// quantities shared between lanes are ones the scalar engine would compute
+// identically for every lane anyway: the netlist topology and the source
+// waveforms, which Vary never perturbs (the VPP level, rails, and timings
+// are campaign constants). Consequently each lane's ActivationResult is
+// bit-identical to Workspace.Simulate on the same parameters, which is what
+// keeps campaign goldens byte-identical at any BatchWidth
+// (TestBatchLanesMatchScalar pins every lane at K ∈ {1,2,4,8}).
+//
+// Lanes diverge: different parameter draws cross thresholds, reject coarse
+// steps, or finish at different times. The scheduler below never forces
+// agreement — it groups lanes by their exact (time, step-size) solve request
+// and advances the largest aligned group per kernel call. A lane whose
+// adaptive stepper departs from the pack (a rejected coarse trial, a
+// crossing rewind, a Newton failure retry) peels off into smaller groups —
+// down to a solo group, which IS the scalar engine's op sequence — and
+// re-joins a lockstep group automatically at the next base cell where its
+// grid clock and step intent coincide with the others, because both are
+// exact multiples of the same base step replayed with the same float
+// arithmetic. Lanes whose source waveforms differ from lane 0's (possible
+// only through the public API, never in a Monte-Carlo tile) peel off
+// entirely to a scalar Workspace.
+//
+// A BatchWorkspace is not safe for concurrent use; give each worker its own.
+
+// Batch-width limits. DefaultBatchWidth is the auto width the Monte-Carlo
+// path uses for MCConfig.BatchWidth == 0; MaxBatchWidth bounds configurable
+// widths (and sizes the fixed-array tile results the sweep streams through
+// its worker pool).
+const (
+	DefaultBatchWidth = 8
+	MaxBatchWidth     = 16
+)
+
+// BatchProbe receives per-lane waveform samples during a batched simulation;
+// lane indexes the corresponding entry of the Simulate parameter slice.
+type BatchProbe func(lane int, tNS, vBitline, vCell float64)
+
+// laneKind is the pending solve request of a lane.
+type laneKind uint8
+
+const (
+	kBase laneKind = iota
+	kCoarseFull
+	kCoarseHalf1
+	kCoarseHalf2
+)
+
+// Base-step post-processing variants, mirroring which adaptiveStepper.step
+// dispatch path issued the base step.
+const (
+	vNormal      = iota // mult==1 path: quiescence/gate bookkeeping follows
+	vForced             // forced re-integration of a rewound stretch
+	vFallthrough        // every coarse size was rejected this episode
+	vFixed              // non-adaptive lane: plain fixed-grid loop
+)
+
+// batchLane is one run's complete state: the reduced engine (the same
+// fields as Transient+reduced, as slices into the workspace's shared
+// slabs), the adaptive stepper (the same fields as adaptiveStepper), and
+// the measurement accumulator of measureActivation.
+type batchLane struct {
+	// Engine state (scalar analogue: Transient + reduced).
+	v         []float64 // node voltages, index node-1
+	gStatic   []float64 // ku*ku static stamps at the lane's current dt
+	gdG       []float64 // per-entry conductances of the shared gDriven list
+	zStep     []float64 // per-step RHS
+	a, z      []float64 // Newton workspace
+	newt      []float64 // Newton iterate
+	xPrev     []float64 // converged solution of the previous step
+	xPrev2    []float64 // two steps back (predictor)
+	steps     int
+	dtLast    float64
+	dt        float64
+	t         float64
+	newtIters int
+
+	// Per-lane element values (the quantities Vary perturbs).
+	resOhms []float64
+	capF    []float64
+	mos     []MOSParams
+	mosPtr  []*MOSParams // stable pointers into mos for the solve kernel
+
+	// Adaptive scratch (scalar analogue: adaptiveScratch).
+	vFull, vOld, errC, end1, end2 []float64
+	prevV, prevXPrev, prevXPrev2  []float64
+	prevT, prevDt, prevDtLast     float64
+	prevSteps                     int
+
+	// Stepper state (scalar analogue: adaptiveStepper).
+	base, horizon, tol, activity           float64
+	maxMult, mult, cool, rejStreak, forced int
+	rejPending                             bool
+	rejLTE, rejGate                        float64
+	rejGateAge                             int
+	trustLeft, histM, histN                int
+	pairLTE                                float64
+	pairAge                                int
+	decayRate, decayAccum, alpha           float64
+	tGrid                                  float64
+	prevValid                              bool
+	prevCells                              int
+	prevTGrid                              float64
+	stats                                  StepStats
+
+	// Measurement state (scalar analogue: measureActivation locals).
+	res                 ActivationResult
+	vth, target, vcell0 float64
+	minCell             float64
+	dipped              bool
+	adaptive            bool
+
+	// Scheduling.
+	reqT, reqDt float64
+	kind        laneKind
+	variant     int
+	m           int     // current coarse attempt size in base cells
+	h           float64 // full size of the current coarse attempt (seconds)
+	pending     bool    // a solve request is outstanding
+	conv        bool    // kernel: this lane's Newton iteration converged
+	solveErr    error   // kernel: this lane's solve failure, if any
+	done        bool
+	err         error
+}
+
+// BatchWorkspace is the reusable K-lane simulator. The shared netlist,
+// reduction structure, and every per-lane slab are built once and re-stamped
+// per tile, so a warm workspace performs no steady-state allocations per
+// tile (asserted by TestBatchStepAllocsFree).
+type BatchWorkspace struct {
+	k     int
+	built bool
+
+	ckt   *Circuit
+	nodes cellNodes
+	waves cellWaves
+	rs    *reduced // shared reduction STRUCTURE (its per-lane arrays are unused)
+	nv    int
+
+	vdrv  []float64 // shared driven-node voltages for the current solve group
+	lanes []batchLane
+
+	// refWaves snapshots lane 0's stamped waveform breakpoints; lanes whose
+	// own stamp differs peel off to the scalar fallback below.
+	refWaves, tmpWaves []float64
+	fallback           []bool
+	scalar             *Workspace
+
+	results []ActivationResult
+	errs    []error
+	sel     []int // current solve group, reused
+}
+
+// NewBatchWorkspace returns an empty workspace with capacity for k lanes
+// (clamped to [1, MaxBatchWidth]); slabs are built lazily on first Simulate.
+func NewBatchWorkspace(k int) *BatchWorkspace {
+	if k < 1 {
+		k = 1
+	}
+	if k > MaxBatchWidth {
+		k = MaxBatchWidth
+	}
+	return &BatchWorkspace{k: k}
+}
+
+// Width returns the workspace's lane capacity.
+func (bw *BatchWorkspace) Width() int { return bw.k }
+
+// build assembles the shared topology and reduction once and carves the
+// per-lane slabs out of single struct-of-arrays backing allocations.
+func (bw *BatchWorkspace) build(p CellParams) error {
+	bw.ckt, bw.nodes, bw.waves = buildCellCircuit(p)
+	nv := bw.ckt.NumNodes() - 1
+	vtmp := make([]float64, nv)
+	for node, volts := range bw.ckt.initial {
+		if node > 0 && node <= nv {
+			vtmp[node-1] = volts
+		}
+	}
+	rs := newReduced(bw.ckt, nv, p.StepPS*1e-12, vtmp)
+	if rs == nil {
+		return errors.New("spice: cell netlist not reducible for batching")
+	}
+	bw.rs = rs
+	bw.nv = nv
+	bw.vdrv = make([]float64, nv)
+
+	k, ku, nGD := bw.k, rs.ku, len(rs.gDriven)
+	nRes, nCap, nMos := len(bw.ckt.resistors), len(bw.ckt.caps), len(bw.ckt.mosfets)
+	// One slab per quantity; each lane's view is a contiguous sub-slice, so
+	// per-lane inner loops stream over adjacent memory and solveDense runs
+	// unchanged on the lane's own matrix.
+	slab := func(n int) func() []float64 {
+		backing := make([]float64, n*k)
+		i := 0
+		return func() []float64 {
+			s := backing[i*n : (i+1)*n : (i+1)*n]
+			i++
+			return s
+		}
+	}
+	vS, vFullS, vOldS, errCS := slab(nv), slab(nv), slab(nv), slab(nv)
+	end1S, end2S, prevVS := slab(nv), slab(nv), slab(nv)
+	gS, aS := slab(ku*ku), slab(ku*ku)
+	zStepS, zS, newtS := slab(ku), slab(ku), slab(ku)
+	xPrevS, xPrev2S, pxS, px2S := slab(ku), slab(ku), slab(ku), slab(ku)
+	gdS := slab(nGD)
+	resS, capS := slab(nRes), slab(nCap)
+	mosSlab := make([]MOSParams, nMos*k)
+
+	bw.lanes = make([]batchLane, k)
+	for l := range bw.lanes {
+		ln := &bw.lanes[l]
+		ln.v, ln.vFull, ln.vOld, ln.errC = vS(), vFullS(), vOldS(), errCS()
+		ln.end1, ln.end2, ln.prevV = end1S(), end2S(), prevVS()
+		ln.gStatic, ln.a = gS(), aS()
+		ln.zStep, ln.z, ln.newt = zStepS(), zS(), newtS()
+		ln.xPrev, ln.xPrev2 = xPrevS(), xPrev2S()
+		ln.prevXPrev, ln.prevXPrev2 = pxS(), px2S()
+		ln.gdG = gdS()
+		ln.resOhms, ln.capF = resS(), capS()
+		ln.mos = mosSlab[l*nMos : (l+1)*nMos : (l+1)*nMos]
+		ln.mosPtr = make([]*MOSParams, nMos)
+		for i := range ln.mos {
+			ln.mosPtr[i] = &ln.mos[i]
+		}
+	}
+	nw := 0
+	for _, w := range []*PWL{bw.waves.wl, bw.waves.san, bw.waves.sap} {
+		nw += 2 * len(w.Times)
+	}
+	bw.refWaves = make([]float64, nw)
+	bw.tmpWaves = make([]float64, nw)
+	bw.fallback = make([]bool, k)
+	bw.results = make([]ActivationResult, k)
+	bw.errs = make([]error, k)
+	bw.sel = make([]int, 0, k)
+	bw.built = true
+	return nil
+}
+
+// snapshotWaves copies the shared circuit's stamped waveform breakpoints
+// into dst, for the lane-compatibility comparison.
+func (bw *BatchWorkspace) snapshotWaves(dst []float64) {
+	i := 0
+	for _, w := range []*PWL{bw.waves.wl, bw.waves.san, bw.waves.sap} {
+		i += copy(dst[i:], w.Times)
+		i += copy(dst[i:], w.Values)
+	}
+}
+
+// loadLane re-stamps lane l from p: element values, initial conditions, the
+// engine's Newton state, the stepper, and the measurement accumulator —
+// exactly the state a fresh scalar Workspace.Simulate would start from.
+// The caller has already run stampCellValues(p) on the shared circuit.
+func (bw *BatchWorkspace) loadLane(l int, p CellParams) {
+	ln := &bw.lanes[l]
+	for i, r := range bw.ckt.resistors {
+		ln.resOhms[i] = r.ohms
+	}
+	for i, c := range bw.ckt.caps {
+		ln.capF[i] = c.farads
+	}
+	for i, m := range bw.ckt.mosfets {
+		ln.mos[i] = m.params
+	}
+
+	base := p.StepPS * 1e-12
+	for i := range ln.v {
+		ln.v[i] = 0
+	}
+	for node, volts := range bw.ckt.initial {
+		if node > 0 && node <= bw.nv {
+			ln.v[node-1] = volts
+		}
+	}
+	ln.dt = base
+	bw.stampStaticsLane(ln)
+	ln.steps = 0
+	ln.dtLast = base
+	for i, n := range bw.rs.nodes {
+		ln.xPrev[i] = ln.v[n-1]
+		ln.xPrev2[i] = 0
+	}
+	ln.t = 0
+	ln.newtIters = 0
+
+	ns := 1e-9
+	ln.base = base
+	ln.horizon = p.MaxNS * ns
+	ln.adaptive = p.Adaptive.Enabled
+	ln.tol = p.Adaptive.tol()
+	ln.activity = p.Adaptive.activity()
+	// base/1e-12, not p.StepPS: the scalar stepper derives the cap from
+	// tr.baseDt/1e-12, and the round trip can differ from StepPS by an ulp —
+	// enough to flip maxMult's <= comparison at the default 25 ps / 1600 ps.
+	ln.maxMult = p.Adaptive.maxMult(base / 1e-12)
+	ln.mult = 1
+	ln.cool, ln.rejStreak, ln.forced = 0, 0, 0
+	ln.rejPending, ln.rejLTE, ln.rejGate, ln.rejGateAge = false, 0, 0, 0
+	ln.trustLeft, ln.histM, ln.histN = 0, 0, 0
+	ln.pairLTE, ln.pairAge = 0, 0
+	ln.decayRate, ln.decayAccum, ln.alpha = 0, 0, 0
+	ln.tGrid = 0
+	ln.prevValid, ln.prevCells, ln.prevTGrid = false, 0, 0
+	ln.stats = StepStats{}
+
+	ln.res = ActivationResult{}
+	ln.vth = p.VTHFrac * p.VDD
+	ln.vcell0 = p.SaturationV()
+	ln.target = math.Min(p.RestoreFrac*p.VDD, ln.vcell0-0.05)
+	ln.minCell = ln.vcell0
+	ln.dipped = false
+
+	ln.pending, ln.done, ln.err, ln.solveErr = false, false, nil, nil
+}
+
+// stampStaticsLane rebuilds lane ln's static system for its current dt,
+// replaying reduced.stampStatics element for element — the same assembly
+// order, with the lane's own values — and filling the lane's slot of every
+// shared gDriven entry.
+func (bw *BatchWorkspace) stampStaticsLane(ln *batchLane) {
+	r := bw.rs
+	ku := r.ku
+	for i := range ln.gStatic {
+		ln.gStatic[i] = 0
+	}
+	for i := 0; i < ku; i++ {
+		ln.gStatic[i*ku+i] += nodeLeak
+	}
+	slot := 0
+	for i, res := range bw.ckt.resistors {
+		slot = bw.stampStaticLane(ln, slot, res.a, res.b, 1/ln.resOhms[i])
+	}
+	for i, c := range bw.ckt.caps {
+		slot = bw.stampStaticLane(ln, slot, c.a, c.b, ln.capF[i]/ln.dt)
+	}
+}
+
+// stampStaticLane mirrors reduced.stampStatic for one lane, returning the
+// next gDriven slot.
+func (bw *BatchWorkspace) stampStaticLane(ln *batchLane, slot, a, b int, g float64) int {
+	r := bw.rs
+	ku := r.ku
+	ra, rb := r.reducedOf(a), r.reducedOf(b)
+	if ra >= 0 {
+		ln.gStatic[ra*ku+ra] += g
+	}
+	if rb >= 0 {
+		ln.gStatic[rb*ku+rb] += g
+	}
+	switch {
+	case ra >= 0 && rb >= 0:
+		ln.gStatic[ra*ku+rb] -= g
+		ln.gStatic[rb*ku+ra] -= g
+	case ra >= 0 && r.drivenNode(b), rb >= 0 && r.drivenNode(a):
+		ln.gdG[slot] = g
+		slot++
+	}
+	return slot
+}
+
+// setDtLane switches a lane's step size, re-stamping its static system.
+func (bw *BatchWorkspace) setDtLane(ln *batchLane, dt float64) {
+	if dt == ln.dt {
+		return
+	}
+	ln.dt = dt
+	bw.stampStaticsLane(ln)
+}
+
+// saveLane / loadState are the lane's engineState snapshot, used by the
+// coarse-attempt retry and the crossing rewind.
+func (bw *BatchWorkspace) saveLane(ln *batchLane) {
+	ln.prevT, ln.prevDt = ln.t, ln.dt
+	ln.prevSteps, ln.prevDtLast = ln.steps, ln.dtLast
+	copy(ln.prevV, ln.v)
+	copy(ln.prevXPrev, ln.xPrev)
+	copy(ln.prevXPrev2, ln.xPrev2)
+}
+
+func (bw *BatchWorkspace) loadState(ln *batchLane) {
+	ln.t = ln.prevT
+	bw.setDtLane(ln, ln.prevDt)
+	ln.steps, ln.dtLast = ln.prevSteps, ln.prevDtLast
+	copy(ln.v, ln.prevV)
+	copy(ln.xPrev, ln.prevXPrev)
+	copy(ln.xPrev2, ln.prevXPrev2)
+}
+
+// Simulate runs one activation per entry of ps (len(ps) must not exceed the
+// workspace width), reusing every allocation from previous tiles. It
+// returns per-lane results and errors; both slices are owned by the
+// workspace and valid until the next Simulate call. Lane i is bit-identical
+// to Workspace.Simulate(ps[i], ...) — including lanes that peel off to the
+// scalar fallback because their source waveforms differ from lane 0's.
+func (bw *BatchWorkspace) Simulate(ps []CellParams, probe BatchProbe) ([]ActivationResult, []error) {
+	n := len(ps)
+	if n > bw.k {
+		n = bw.k
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if !bw.built {
+		if err := bw.build(ps[0]); err != nil {
+			if bw.errs == nil {
+				bw.errs = make([]error, bw.k)
+				bw.results = make([]ActivationResult, bw.k)
+			}
+			for l := 0; l < n; l++ {
+				bw.errs[l] = err
+			}
+			return bw.results[:n], bw.errs[:n]
+		}
+	}
+	for l := 0; l < n; l++ {
+		bw.results[l] = ActivationResult{}
+		bw.errs[l] = nil
+		bw.fallback[l] = false
+		bw.lanes[l].done = true // lanes not loaded below stay inert
+		bw.lanes[l].pending = false
+	}
+
+	// Stamp each lane's values through the shared circuit (the same writer
+	// the scalar path uses, so both paths see exactly the same values) and
+	// snapshot its waveforms; the first valid lane defines the shared
+	// waveform reference and is re-stamped last so the circuit the kernel
+	// evaluates holds the reference breakpoints.
+	loaded, ref := 0, -1
+	for l := 0; l < n; l++ {
+		if err := ps[l].validate(); err != nil {
+			bw.errs[l] = err
+			continue
+		}
+		stampCellValues(bw.ckt, bw.nodes, bw.waves, ps[l])
+		bw.snapshotWaves(bw.tmpWaves)
+		if ref < 0 {
+			ref = l
+			copy(bw.refWaves, bw.tmpWaves)
+		} else {
+			for i := range bw.tmpWaves {
+				if bw.tmpWaves[i] != bw.refWaves[i] {
+					// Waveforms differ from the pack's: this lane cannot
+					// share the driven-source schedule — peel it off to the
+					// scalar engine (unreachable from the Monte-Carlo path,
+					// which never varies rails or timings).
+					bw.fallback[l] = true
+					break
+				}
+			}
+		}
+		if bw.fallback[l] {
+			continue
+		}
+		bw.loadLane(l, ps[l])
+		loaded++
+	}
+	// Restore the reference lane's waveforms as the shared schedule.
+	if ref >= 0 {
+		stampCellValues(bw.ckt, bw.nodes, bw.waves, ps[ref])
+	}
+
+	if loaded > 0 {
+		bw.run(n, probe)
+	}
+	for l := 0; l < n; l++ {
+		ln := &bw.lanes[l]
+		if bw.errs[l] != nil || bw.fallback[l] {
+			continue
+		}
+		bw.results[l] = ln.res
+		bw.errs[l] = ln.err
+	}
+
+	// Peeled lanes: the scalar engine, lane by lane.
+	for l := 0; l < n; l++ {
+		if !bw.fallback[l] {
+			continue
+		}
+		if bw.scalar == nil {
+			bw.scalar = NewWorkspace()
+		}
+		var sp Probe
+		if probe != nil {
+			lane := l
+			sp = func(tNS, vbl, vcell float64) { probe(lane, tNS, vbl, vcell) }
+		}
+		bw.results[l], bw.errs[l] = bw.scalar.Simulate(ps[l], sp)
+	}
+	return bw.results[:n], bw.errs[:n]
+}
+
+// run drives the first n lanes to completion: each iteration picks the
+// earliest pending (t, dt) solve request, advances every lane that shares
+// it through one batched kernel call, and lets each lane's state machine
+// issue its next request. Lockstep is emergent — lanes with identical
+// request keys form one group; diverged lanes run as smaller (ultimately
+// solo) groups and re-join when their keys realign at a base cell.
+func (bw *BatchWorkspace) run(n int, probe BatchProbe) {
+	for l := 0; l < n; l++ {
+		ln := &bw.lanes[l]
+		if ln.done {
+			continue
+		}
+		bw.prepare(l, probe)
+	}
+	for {
+		// Earliest request first (exact float comparison: aligned lanes hold
+		// bit-equal times by construction); dt breaks ties so a group is a
+		// single solve operation.
+		bw.sel = bw.sel[:0]
+		var bt, bdt float64
+		for l := 0; l < n; l++ {
+			ln := &bw.lanes[l]
+			if !ln.pending {
+				continue
+			}
+			if len(bw.sel) == 0 || ln.reqT < bt || (ln.reqT == bt && ln.reqDt < bdt) {
+				bw.sel = bw.sel[:1]
+				bw.sel[0] = l
+				bt, bdt = ln.reqT, ln.reqDt
+			} else if ln.reqT == bt && ln.reqDt == bdt {
+				bw.sel = append(bw.sel, l)
+			}
+		}
+		if len(bw.sel) == 0 {
+			return
+		}
+		bw.stepGroup(bw.sel, bt, bdt)
+		for _, l := range bw.sel {
+			bw.postSolve(l, probe)
+		}
+	}
+}
+
+// prepare issues lane l's next solve request, mirroring the adaptive
+// measurement loop's horizon test and adaptiveStepper.step's dispatch.
+func (bw *BatchWorkspace) prepare(l int, probe BatchProbe) {
+	ln := &bw.lanes[l]
+	if !ln.adaptive {
+		if ln.t < ln.horizon {
+			ln.kind, ln.variant = kBase, vFixed
+			ln.reqT, ln.reqDt = ln.t, ln.base
+			ln.pending = true
+			return
+		}
+		bw.finish(ln)
+		return
+	}
+	if ln.tGrid >= ln.horizon {
+		bw.finish(ln)
+		return
+	}
+	if ln.forced > 0 {
+		ln.forced--
+		bw.baseStepPrep(ln, vForced)
+		return
+	}
+	if ln.mult > 1 {
+		bw.startCoarse(ln)
+		return
+	}
+	bw.baseStepPrep(ln, vNormal)
+}
+
+// baseStepPrep mirrors adaptiveStepper.baseStep's pre-solve half: base dt,
+// engine clock onto the grid, quiescence snapshot, then the solve request.
+func (bw *BatchWorkspace) baseStepPrep(ln *batchLane, variant int) {
+	bw.setDtLane(ln, ln.base)
+	ln.t = ln.tGrid
+	copy(ln.vOld, ln.v)
+	ln.kind, ln.variant = kBase, variant
+	ln.reqT, ln.reqDt = ln.tGrid, ln.base
+	ln.pending = true
+}
+
+// startCoarse mirrors coarseStep's entry: clamp the attempt size away from
+// the horizon, reset the episode's measured LTE, and either begin the first
+// attempt or fall through to a rejected-episode base step.
+func (bw *BatchWorkspace) startCoarse(ln *batchLane) {
+	m := ln.mult
+	for m >= minCoarse && ln.tGrid+float64(m)*ln.base >= ln.horizon+ln.base/2 {
+		m /= 2
+	}
+	ln.rejLTE = 0
+	if m < minCoarse {
+		bw.rejectAll(ln)
+		return
+	}
+	bw.beginAttempt(ln, m)
+}
+
+// beginAttempt mirrors one iteration head of coarseStep's retry loop: save
+// the rewind snapshot and issue the full-size solve.
+func (bw *BatchWorkspace) beginAttempt(ln *batchLane, m int) {
+	bw.saveLane(ln)
+	ln.m = m
+	ln.h = float64(m) * ln.base
+	bw.setDtLane(ln, ln.h)
+	ln.t = ln.tGrid
+	ln.kind = kCoarseFull
+	ln.reqT, ln.reqDt = ln.tGrid, ln.h
+	ln.pending = true
+}
+
+// retryHalved mirrors the rejection arm of the retry loop: rewind, count the
+// rejection, and halve — falling through to the base grid when the size
+// drops below minCoarse.
+func (bw *BatchWorkspace) retryHalved(ln *batchLane) {
+	bw.loadState(ln)
+	ln.stats.Rejected++
+	m := ln.m / 2
+	if m >= minCoarse {
+		bw.beginAttempt(ln, m)
+		return
+	}
+	bw.rejectAll(ln)
+}
+
+// rejectAll mirrors coarseStep's every-size-rejected fallthrough: back to
+// base stepping under an exponentially growing cooldown.
+func (bw *BatchWorkspace) rejectAll(ln *batchLane) {
+	ln.mult = 1
+	ln.cool = adaptiveCooldown << ln.rejStreak
+	if ln.cool > 64*adaptiveCooldown {
+		ln.cool = 64 * adaptiveCooldown
+	}
+	ln.rejStreak++
+	ln.rejPending = true
+	ln.histN, ln.trustLeft = 0, 0
+	bw.baseStepPrep(ln, vFallthrough)
+}
+
+// finish seals a lane's result.
+func (bw *BatchWorkspace) finish(ln *batchLane) {
+	ln.res.Steps = ln.stats
+	ln.res.Steps.NewtonIters = ln.newtIters
+	ln.done = true
+	ln.pending = false
+}
+
+// fail seals a lane with a simulation error.
+func (bw *BatchWorkspace) fail(ln *batchLane, err error) {
+	ln.err = err
+	bw.finish(ln)
+}
+
+// postSolve advances lane l's state machine after a kernel call resolved its
+// pending request (ln.conv / ln.solveErr), mirroring the corresponding
+// scalar control flow step for step.
+func (bw *BatchWorkspace) postSolve(l int, probe BatchProbe) {
+	ln := &bw.lanes[l]
+	ln.pending = false
+	switch ln.kind {
+	case kBase:
+		if ln.solveErr != nil {
+			bw.fail(ln, ln.solveErr)
+			return
+		}
+		ln.stats.Cells++
+		ln.stats.Solves++
+		if ln.variant == vFixed {
+			bw.sampleFixed(l, probe)
+			return
+		}
+		ln.tGrid = ln.t // tGrid + base, in the fixed path's own float arithmetic
+		ln.prevValid = false
+		ln.histN, ln.trustLeft = 0, 0
+		if ln.variant == vNormal {
+			bw.afterNormalBase(ln)
+		}
+		bw.sample(l, 1, probe)
+
+	case kCoarseFull:
+		if ln.solveErr != nil {
+			if !errors.Is(ln.solveErr, ErrNoConverge) {
+				bw.fail(ln, ln.solveErr)
+				return
+			}
+			bw.retryHalved(ln)
+			return
+		}
+		ln.stats.Solves++
+		copy(ln.vFull, ln.v)
+		if bw.trustedAccept(ln, ln.m) {
+			bw.accept(ln, ln.m, 1)
+			bw.sample(l, ln.m, probe)
+			return
+		}
+		// Half-step pair from the same starting state.
+		bw.loadState(ln)
+		bw.setDtLane(ln, ln.h/2)
+		ln.t = ln.tGrid
+		ln.kind = kCoarseHalf1
+		ln.reqT, ln.reqDt = ln.tGrid, ln.h/2
+		ln.pending = true
+
+	case kCoarseHalf1:
+		if ln.solveErr != nil {
+			if !errors.Is(ln.solveErr, ErrNoConverge) {
+				bw.fail(ln, ln.solveErr)
+				return
+			}
+			bw.retryHalved(ln)
+			return
+		}
+		ln.stats.Solves++
+		ln.kind = kCoarseHalf2
+		ln.reqT, ln.reqDt = ln.t, ln.h/2
+		ln.pending = true
+
+	case kCoarseHalf2:
+		if ln.solveErr != nil {
+			if !errors.Is(ln.solveErr, ErrNoConverge) {
+				bw.fail(ln, ln.solveErr)
+				return
+			}
+			bw.retryHalved(ln)
+			return
+		}
+		ln.stats.Solves++
+		bw.finishPair(l, probe)
+	}
+}
+
+// afterNormalBase mirrors the post-baseStep half of adaptiveStepper.step's
+// mult==1 path: quiescence delta, rejection-gate calibration and aging,
+// cooldown, and the decision to attempt coarsening.
+func (bw *BatchWorkspace) afterNormalBase(ln *batchLane) {
+	delta := 0.0
+	for i, v := range ln.v {
+		if d := abs(v - ln.vOld[i]); d > delta {
+			delta = d
+		}
+	}
+	if ln.rejPending {
+		ln.rejPending = false
+		if ln.rejLTE > 0 {
+			ln.rejGate = delta * ln.tol / ln.rejLTE * 0.8
+			ln.rejGateAge = 8 * adaptiveCooldown
+		}
+	}
+	if ln.rejGate > 0 {
+		if ln.rejGateAge--; ln.rejGateAge <= 0 {
+			ln.rejGate = 0
+		}
+	}
+	if ln.cool > 0 {
+		ln.cool--
+		return
+	}
+	if delta < ln.activity && ln.maxMult >= minCoarse &&
+		(ln.rejGate == 0 || delta < ln.rejGate) {
+		ln.mult = minCoarse
+	}
+}
+
+// finishPair mirrors coarseStep's pair-acceptance tail: the per-node RMS
+// LTE test, the decay calibration, the base-grid blend, and escalation.
+func (bw *BatchWorkspace) finishPair(l int, probe BatchProbe) {
+	ln := &bw.lanes[l]
+	m := ln.m
+	sum := 0.0
+	for i, v := range ln.v {
+		d := v - ln.vFull[i]
+		sum += d * d
+	}
+	lte := math.Sqrt(sum / float64(len(ln.v)))
+	if lte > ln.tol {
+		bw.loadState(ln)
+		ln.stats.Rejected++
+		if m == minCoarse {
+			ln.rejLTE = lte
+		}
+		m /= 2
+		if m >= minCoarse {
+			bw.beginAttempt(ln, m)
+			return
+		}
+		bw.rejectAll(ln)
+		return
+	}
+	if ln.histM == m && ln.pairLTE > 0 && ln.pairAge > 0 && lte > 0 {
+		ln.decayRate = math.Pow(lte/ln.pairLTE, 1/float64(ln.pairAge))
+		if ln.decayRate > 1 {
+			ln.decayRate = 1
+		} else if ln.decayRate < 0.5 {
+			ln.decayRate = 0.5
+		}
+	} else {
+		ln.decayRate = 1
+	}
+	ln.pairLTE, ln.pairAge, ln.decayAccum = lte, 0, 1
+	ln.alpha = blendAlpha(m, ln.decayRate)
+	for i, n := range bw.rs.nodes {
+		vh, vf := ln.v[n-1], ln.vFull[n-1]
+		ln.errC[n-1] = vh - vf
+		ext := vh + ln.alpha*(vh-vf)
+		ln.v[n-1] = ext
+		ln.xPrev[i] = ext
+	}
+	ln.trustLeft = trustedSteps
+	ln.rejStreak = 0
+	ln.rejGate = 0
+	bw.accept(ln, m, 3)
+	if lte <= ln.tol/4 && 2*m <= ln.maxMult {
+		ln.mult = 2 * m
+	}
+	bw.sample(l, m, probe)
+}
+
+// trustedAccept mirrors adaptiveStepper.trustedAccept for one lane.
+func (bw *BatchWorkspace) trustedAccept(ln *batchLane, m int) bool {
+	if ln.trustLeft <= 0 || ln.histM != m || ln.histN < 2 {
+		return false
+	}
+	ln.decayAccum *= ln.decayRate
+	f := (1 + ln.alpha) * ln.decayAccum
+	for _, n := range bw.rs.nodes {
+		ext := ln.v[n-1] + f*ln.errC[n-1]
+		if d := abs(ext - (2*ln.end1[n-1] - ln.end2[n-1])); d > 4*ln.tol {
+			return false
+		}
+	}
+	for i, n := range bw.rs.nodes {
+		ext := ln.v[n-1] + f*ln.errC[n-1]
+		ln.v[n-1] = ext
+		ln.xPrev[i] = ext
+	}
+	ln.trustLeft--
+	return true
+}
+
+// accept mirrors adaptiveStepper.accept: stats, the rewind snapshot, the
+// endpoint history, and the replayed grid clock.
+func (bw *BatchWorkspace) accept(ln *batchLane, m, solves int) {
+	ln.stats.Cells += m
+	ln.stats.CoarseCells += m
+	ln.stats.CoarseSolves += solves
+	ln.prevValid, ln.prevCells, ln.prevTGrid = true, m, ln.tGrid
+	ln.pairAge++
+	for i := 0; i < m; i++ {
+		ln.tGrid += ln.base
+	}
+	ln.t = ln.tGrid
+	ln.mult = m
+
+	if ln.histM == m {
+		ln.end1, ln.end2 = ln.end2, ln.end1
+		ln.histN++
+	} else {
+		ln.histM, ln.histN = m, 1
+	}
+	copy(ln.end1, ln.v)
+	if ln.histN > 2 {
+		ln.histN = 2
+	}
+}
+
+// rewind mirrors adaptiveStepper.rewind.
+func (bw *BatchWorkspace) rewind(ln *batchLane) {
+	if !ln.prevValid {
+		return
+	}
+	bw.loadState(ln)
+	ln.tGrid = ln.prevTGrid
+	ln.t = ln.tGrid
+	ln.forced = ln.prevCells
+	ln.mult = 1
+	ln.cool = adaptiveCooldown
+	ln.prevValid = false
+	ln.histN, ln.trustLeft = 0, 0
+	ln.stats.Cells -= ln.prevCells
+	ln.stats.CoarseCells -= ln.prevCells
+	ln.stats.Rejected++
+}
+
+// sample mirrors the adaptive measurement block of
+// measureActivationAdaptive for one accepted step of m cells, then issues
+// the lane's next request (or finishes it).
+func (bw *BatchWorkspace) sample(l, m int, probe BatchProbe) {
+	ln := &bw.lanes[l]
+	ns := 1e-9
+	tNS := ln.tGrid / ns
+	vbl := ln.v[bw.nodes.bls-1]
+	vcell := ln.v[bw.nodes.cellC-1]
+	if m > 1 {
+		crossedRead := !ln.res.Reliable && vbl >= ln.vth
+		crossedRestore := ln.dipped && !ln.res.Restored && vcell >= ln.target && vcell > ln.minCell+0.01
+		if crossedRead || crossedRestore {
+			bw.rewind(ln)
+			bw.prepare(l, probe)
+			return
+		}
+	}
+	if probe != nil {
+		probe(l, tNS, vbl, vcell)
+	}
+	if !ln.res.Reliable && vbl >= ln.vth {
+		ln.res.Reliable = true
+		ln.res.TRCDminNS = tNS
+	}
+	if vcell < ln.minCell {
+		ln.minCell = vcell
+		if vcell < ln.vcell0-0.02 {
+			ln.dipped = true
+		}
+	}
+	if ln.dipped && !ln.res.Restored && vcell >= ln.target && vcell > ln.minCell+0.01 {
+		ln.res.Restored = true
+		ln.res.TRASminNS = tNS
+	}
+	ln.res.FinalCellV = vcell
+	if ln.res.Reliable && ln.res.Restored {
+		bw.finish(ln)
+		return
+	}
+	bw.prepare(l, probe)
+}
+
+// sampleFixed mirrors the fixed-grid measurement block of measureActivation.
+func (bw *BatchWorkspace) sampleFixed(l int, probe BatchProbe) {
+	ln := &bw.lanes[l]
+	ns := 1e-9
+	tNS := ln.t / ns
+	vbl := ln.v[bw.nodes.bls-1]
+	vcell := ln.v[bw.nodes.cellC-1]
+	if probe != nil {
+		probe(l, tNS, vbl, vcell)
+	}
+	if !ln.res.Reliable && vbl >= ln.vth {
+		ln.res.Reliable = true
+		ln.res.TRCDminNS = tNS
+	}
+	if vcell < ln.minCell {
+		ln.minCell = vcell
+		if vcell < ln.vcell0-0.02 {
+			ln.dipped = true
+		}
+	}
+	if ln.dipped && !ln.res.Restored && vcell >= ln.target && vcell > ln.minCell+0.01 {
+		ln.res.Restored = true
+		ln.res.TRASminNS = tNS
+	}
+	ln.res.FinalCellV = vcell
+	if ln.res.Reliable && ln.res.Restored {
+		bw.finish(ln)
+		return
+	}
+	bw.prepare(l, probe)
+}
+
+// stepGroup is the batched kernel: one backward-Euler step from t to t+dt
+// for every lane in sel. The driven-source schedule is evaluated once; the
+// capacitor companion walk, predictor, Newton assembly, LU, and damped
+// update run per lane over its contiguous slabs, in exactly the scalar
+// stepReduced's operation order, so each lane's floats are bit-identical to
+// the scalar engine. Lanes converge (or fail) independently; a lane that
+// converges early drops out of later iterations while the rest continue.
+//
+//detlint:hotpath witness=TestBatchStepAllocsFree
+func (bw *BatchWorkspace) stepGroup(sel []int, t, dt float64) {
+	r := bw.rs
+	ku := r.ku
+	tNext := t + dt
+	for _, d := range r.driven {
+		bw.vdrv[d.node-1] = d.sign * d.wave.At(tNext)
+	}
+
+	// Per-step pass, per lane: driven-conductance RHS terms and capacitor
+	// history currents.
+	for _, l := range sel {
+		ln := &bw.lanes[l]
+		ln.conv, ln.solveErr = false, nil
+		for i := range ln.zStep {
+			ln.zStep[i] = 0
+		}
+		for s, e := range r.gDriven {
+			ln.zStep[e.row] += ln.gdG[s] * bw.vdrv[e.node-1]
+		}
+		for ci := range ln.capF {
+			pl := r.capPlans[ci]
+			geq := ln.capF[ci] / dt
+			var va, vb float64
+			if pl.na >= 0 {
+				va = ln.v[pl.na]
+			}
+			if pl.nb >= 0 {
+				vb = ln.v[pl.nb]
+			}
+			ieq := geq * (va - vb)
+			if pl.ra >= 0 {
+				ln.zStep[pl.ra] += ieq
+			}
+			if pl.rb >= 0 {
+				ln.zStep[pl.rb] -= ieq
+			}
+		}
+		// Newton initial guess (see stepReduced): slope-scaled extrapolation,
+		// with the equal-step case kept on the literal 2*x-y form.
+		if ln.steps >= 2 {
+			if dt == ln.dtLast {
+				for i := range ln.newt {
+					ln.newt[i] = 2*ln.xPrev[i] - ln.xPrev2[i]
+				}
+			} else {
+				ratio := dt / ln.dtLast
+				for i := range ln.newt {
+					ln.newt[i] = ln.xPrev[i] + ratio*(ln.xPrev[i]-ln.xPrev2[i])
+				}
+			}
+		} else {
+			copy(ln.newt, ln.xPrev)
+		}
+	}
+
+	remaining := len(sel)
+	for iter := 0; iter < newtonMaxIters && remaining > 0; iter++ {
+		for _, l := range sel {
+			ln := &bw.lanes[l]
+			if ln.conv || ln.solveErr != nil {
+				continue
+			}
+			// The cell fast path runs the whole iteration — assembly,
+			// solve, damped update — in stack arrays (see stepReduced); a
+			// declined iteration is redone through the generic path,
+			// bit-identically.
+			var maxDelta float64
+			ok := false
+			if r.cell6 {
+				maxDelta, ok = cell6Iter(ln.gStatic, ln.zStep, ln.newt, bw.vdrv, r.mosPlans, ln.mosPtr)
+			}
+			if !ok {
+				if err := bw.solveGenericLane(ln, ku); err != nil {
+					ln.solveErr = fmt.Errorf("t=%.3gs: %w", tNext, err) //detlint:ignore hotalloc error path, never taken by a converging run
+					remaining--
+					continue
+				}
+				// ln.z now holds the solution. Keep this update loop in
+				// lockstep with the fused one at the end of cell6Iter.
+				for i := 0; i < ku; i++ {
+					d := ln.z[i] - ln.newt[i]
+					if abs(d) > maxDelta {
+						maxDelta = abs(d)
+					}
+					if abs(d) > newtonMaxDelta {
+						if d > 0 {
+							d = newtonMaxDelta
+						} else {
+							d = -newtonMaxDelta
+						}
+					}
+					ln.newt[i] += d
+				}
+			}
+			if maxDelta < newtonTol {
+				ln.newtIters += iter + 1
+				ln.xPrev, ln.xPrev2 = ln.xPrev2, ln.xPrev
+				copy(ln.xPrev, ln.newt)
+				ln.steps++
+				ln.dtLast = dt
+				for i, n := range r.nodes {
+					ln.v[n-1] = ln.newt[i]
+				}
+				for _, d := range r.driven {
+					ln.v[d.node-1] = bw.vdrv[d.node-1]
+				}
+				ln.t = tNext
+				ln.conv = true
+				remaining--
+			}
+		}
+	}
+	for _, l := range sel {
+		ln := &bw.lanes[l]
+		if !ln.conv && ln.solveErr == nil {
+			ln.newtIters += newtonMaxIters
+			ln.solveErr = fmt.Errorf("t=%.3gs: %w", tNext, ErrNoConverge) //detlint:ignore hotalloc error path, never taken by a converging run
+		}
+	}
+}
+
+// solveGenericLane performs one copy-stamp-solve Newton iteration for one
+// lane on its heap workspace, mirroring reduced.solveGeneric: the redo path
+// when cell6Iter declines an iteration, and the only form for non-cell
+// topologies.
+func (bw *BatchWorkspace) solveGenericLane(ln *batchLane, ku int) error {
+	copy(ln.a, ln.gStatic)
+	copy(ln.z, ln.zStep)
+	for mi := range bw.ckt.mosfets {
+		bw.stampMOSLane(ln, mi)
+	}
+	return solveDense(ln.a, ln.z, ku)
+}
+
+// stampMOSLane mirrors reduced.stampMOSAnalytic for one lane: the shared
+// terminal-routing plan with the lane's own device parameters and iterate.
+// The add order and float operations match the scalar stamp exactly.
+func (bw *BatchWorkspace) stampMOSLane(ln *batchLane, mi int) {
+	r := bw.rs
+	pl := r.mosPlans[mi]
+	var vd, vg, vs float64
+	if pl.rd >= 0 {
+		vd = ln.newt[pl.rd]
+	} else if pl.dd >= 0 {
+		vd = bw.vdrv[pl.dd]
+	}
+	if pl.rg >= 0 {
+		vg = ln.newt[pl.rg]
+	} else if pl.dg >= 0 {
+		vg = bw.vdrv[pl.dg]
+	}
+	if pl.rs >= 0 {
+		vs = ln.newt[pl.rs]
+	} else if pl.ds >= 0 {
+		vs = bw.vdrv[pl.ds]
+	}
+	id, gdd, gdg, gds := mosStamp(&ln.mos[mi], vd, vg, vs)
+	ieq := id - gdd*vd - gdg*vg - gds*vs
+
+	ku := r.ku
+	if rd := pl.rd; rd >= 0 {
+		row := rd * ku
+		ln.a[row+rd] += gdd
+		if pl.rg >= 0 {
+			ln.a[row+pl.rg] += gdg
+		} else if pl.dg >= 0 {
+			ln.z[rd] -= gdg * bw.vdrv[pl.dg]
+		}
+		if pl.rs >= 0 {
+			ln.a[row+pl.rs] += gds
+		} else if pl.ds >= 0 {
+			ln.z[rd] -= gds * bw.vdrv[pl.ds]
+		}
+		ln.z[rd] -= ieq
+	}
+	if rs := pl.rs; rs >= 0 {
+		row := rs * ku
+		if pl.rd >= 0 {
+			ln.a[row+pl.rd] += -gdd
+		} else if pl.dd >= 0 {
+			ln.z[rs] -= -gdd * bw.vdrv[pl.dd]
+		}
+		if pl.rg >= 0 {
+			ln.a[row+pl.rg] += -gdg
+		} else if pl.dg >= 0 {
+			ln.z[rs] -= -gdg * bw.vdrv[pl.dg]
+		}
+		ln.a[row+rs] += -gds
+		ln.z[rs] += ieq
+	}
+}

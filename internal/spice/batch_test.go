@@ -1,0 +1,189 @@
+package spice
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/rng"
+)
+
+// batchTrace collects per-lane waveform samples for the bit-identity
+// comparison against the scalar engine.
+type batchTrace struct {
+	t, bl, cell []float64
+}
+
+func (tr *batchTrace) scalarProbe() Probe {
+	return func(tNS, vbl, vcell float64) {
+		tr.t = append(tr.t, tNS)
+		tr.bl = append(tr.bl, vbl)
+		tr.cell = append(tr.cell, vcell)
+	}
+}
+
+// TestBatchLanesMatchScalar is the tentpole's contract: every lane of a
+// BatchWorkspace tile must reproduce the scalar Workspace bit for bit —
+// the ActivationResult including the StepStats work counters, and every
+// waveform sample — at K ∈ {1, 2, 4, 8}, across warm workspace reuse, for
+// partial tiles, and for lanes that peel off (coarse-step rejections and
+// crossing rewinds at low VPP diverge the lanes' schedules; mixed-VPP tiles
+// additionally exercise the whole-lane scalar fallback, since the wordline
+// waveform differs between lanes).
+func TestBatchLanesMatchScalar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full activation sweep is slow")
+	}
+	root := rng.New(41).Derive("batch-prop")
+	// Tile specs: same-VPP tiles run in genuine lockstep (2.0 V rejects
+	// coarse trials, 1.7 V adds long unreliable tails and rewinds); the
+	// mixed tile forces the waveform-compatibility fallback for lanes 1+.
+	tiles := [][]float64{
+		{2.5, 2.5, 2.5, 2.5, 2.5, 2.5, 2.5, 2.5},
+		{2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0},
+		{1.7, 1.7, 1.7, 1.7, 1.7, 1.7, 1.7, 1.7},
+		{2.2, 2.2, 2.2},           // partial tile
+		{2.5, 1.7, 2.0, 2.5, 2.2}, // mixed: lanes 1+ fall back to scalar
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		bw := NewBatchWorkspace(k)
+		scalar := NewWorkspace()
+		for ti, vpps := range tiles {
+			ps := make([]CellParams, 0, k)
+			for i, vpp := range vpps {
+				if i == k {
+					break
+				}
+				ps = append(ps, Vary(DefaultCellParams(vpp), root.Derive("tile", ti).Derive("run", i), 0.05))
+			}
+			got := make([]batchTrace, len(ps))
+			outs, errs := bw.Simulate(ps, func(lane int, tNS, vbl, vcell float64) {
+				got[lane].t = append(got[lane].t, tNS)
+				got[lane].bl = append(got[lane].bl, vbl)
+				got[lane].cell = append(got[lane].cell, vcell)
+			})
+			for l := range ps {
+				var want batchTrace
+				wout, werr := scalar.Simulate(ps[l], want.scalarProbe())
+				if (errs[l] == nil) != (werr == nil) {
+					t.Fatalf("K=%d tile %d lane %d: error mismatch: %v vs %v", k, ti, l, errs[l], werr)
+				}
+				if werr != nil {
+					if errs[l].Error() != werr.Error() {
+						t.Fatalf("K=%d tile %d lane %d: error text %q vs %q", k, ti, l, errs[l], werr)
+					}
+					continue
+				}
+				if outs[l] != wout {
+					t.Fatalf("K=%d tile %d lane %d (%.1fV): result diverges:\nbatch  %+v\nscalar %+v",
+						k, ti, l, ps[l].VPP, outs[l], wout)
+				}
+				if len(got[l].t) != len(want.t) {
+					t.Fatalf("K=%d tile %d lane %d: %d samples vs %d", k, ti, l, len(got[l].t), len(want.t))
+				}
+				for j := range want.t {
+					if got[l].t[j] != want.t[j] || got[l].bl[j] != want.bl[j] || got[l].cell[j] != want.cell[j] {
+						t.Fatalf("K=%d tile %d lane %d: sample %d deviates: (%.17g, %.17g, %.17g) vs (%.17g, %.17g, %.17g)",
+							k, ti, l, j,
+							got[l].t[j], got[l].bl[j], got[l].cell[j],
+							want.t[j], want.bl[j], want.cell[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchFixedGridMatchesScalar covers the non-adaptive lane path: with
+// coarsening disabled every lane integrates the full 25 ps grid, and the
+// batched results must still be bit-identical to the scalar engine.
+func TestBatchFixedGridMatchesScalar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixed-grid activations are slow")
+	}
+	root := rng.New(42).Derive("batch-fixed")
+	bw := NewBatchWorkspace(4)
+	scalar := NewWorkspace()
+	ps := make([]CellParams, 4)
+	for i := range ps {
+		ps[i] = Vary(DefaultCellParams(2.2), root.Derive("run", i), 0.05)
+		ps[i].Adaptive = AdaptiveConfig{}
+	}
+	outs, errs := bw.Simulate(ps, nil)
+	for l := range ps {
+		wout, werr := scalar.Simulate(ps[l], nil)
+		if errs[l] != nil || werr != nil {
+			t.Fatalf("lane %d: errors %v / %v", l, errs[l], werr)
+		}
+		if outs[l] != wout {
+			t.Fatalf("lane %d: fixed-grid result diverges:\nbatch  %+v\nscalar %+v", l, outs[l], wout)
+		}
+		if outs[l].Steps.Cells != outs[l].Steps.Solves {
+			t.Fatalf("lane %d: fixed grid must solve every cell: %+v", l, outs[l].Steps)
+		}
+	}
+}
+
+// TestBatchStepAllocsFree is the hotpath witness for the batched kernel: a
+// warm BatchWorkspace advancing a full lockstep tile — every solve group,
+// Newton iteration, and lane state transition — must allocate nothing.
+func TestBatchStepAllocsFree(t *testing.T) {
+	root := rng.New(7).Derive("batch-allocs")
+	const k = 8
+	bw := NewBatchWorkspace(k)
+	tiles := make([][]CellParams, 4)
+	for ti := range tiles {
+		tiles[ti] = make([]CellParams, k)
+		for i := range tiles[ti] {
+			tiles[ti][i] = Vary(DefaultCellParams(2.2), root.Derive("tile", ti).Derive("run", i), 0.05)
+		}
+	}
+	if _, errs := bw.Simulate(tiles[0], nil); errs[0] != nil { // build the slabs
+		t.Fatal(errs[0])
+	}
+	i := 0
+	if allocs := testing.AllocsPerRun(4, func() {
+		_, errs := bw.Simulate(tiles[i%len(tiles)], nil)
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		i++
+	}); allocs > 0 {
+		t.Errorf("warm batched tile allocates %.0f objects, want 0", allocs)
+	}
+}
+
+// TestMonteCarloBatchWidthInvariance pins the campaign-level determinism
+// contract: RunMonteCarloSweep must produce identical aggregates at every
+// BatchWidth (scalar, partial tiles, the default, the cap) and worker
+// count, because each lane is bit-identical to the scalar engine and tiles
+// unfold into the accumulators in (level, run) order.
+func TestMonteCarloBatchWidthInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo is slow")
+	}
+	ctx := context.Background()
+	vpps := []float64{2.5, 2.0}
+	base := MCConfig{Runs: 10, Seed: 99, Variation: 0.05, Jobs: 1, BatchWidth: 1}
+	want, err := RunMonteCarloSweep(ctx, vpps, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{0, 3, 8, MaxBatchWidth} {
+		for _, jobs := range []int{1, 4} {
+			cfg := base
+			cfg.BatchWidth = width
+			cfg.Jobs = jobs
+			got, err := RunMonteCarloSweep(ctx, vpps, cfg)
+			if err != nil {
+				t.Fatalf("width=%d jobs=%d: %v", width, jobs, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("width=%d jobs=%d: campaign diverges from scalar path:\n%+v\n%+v",
+					width, jobs, got, want)
+			}
+		}
+	}
+}

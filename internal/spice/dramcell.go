@@ -253,6 +253,7 @@ func measureActivation(tr *Transient, n cellNodes, p CellParams, probe Probe) (A
 
 	for tr.Time() < p.MaxNS*ns {
 		if err := tr.Step(); err != nil {
+			res.Steps.NewtonIters = tr.newtIters
 			return res, err
 		}
 		res.Steps.Cells++
@@ -282,6 +283,7 @@ func measureActivation(tr *Transient, n cellNodes, p CellParams, probe Probe) (A
 			break
 		}
 	}
+	res.Steps.NewtonIters = tr.newtIters
 	return res, nil
 }
 
@@ -307,6 +309,7 @@ func measureActivationAdaptive(tr *Transient, n cellNodes, p CellParams, probe P
 		m, err := st.step()
 		if err != nil {
 			res.Steps = st.stats
+			res.Steps.NewtonIters = tr.newtIters
 			return res, err
 		}
 		tNS := st.tGrid / ns
@@ -345,6 +348,7 @@ func measureActivationAdaptive(tr *Transient, n cellNodes, p CellParams, probe P
 		}
 	}
 	res.Steps = st.stats
+	res.Steps.NewtonIters = tr.newtIters
 	return res, nil
 }
 

@@ -79,26 +79,66 @@ func (p MOSParams) eval(vd, vg, vs float64) (id, gm, gds float64) {
 // invariance holds: gdd+gdg+gds == 0 up to the gmin floor), so the Newton
 // linearization needs one model evaluation per device instead of the four a
 // finite-difference Jacobian costs.
+//
+// The body is eval flattened into a single call-free function — it runs
+// five times per Newton iteration of every Monte-Carlo solve, and the
+// nested eval call (plus the PMOS mirror recursion) cost more than the
+// arithmetic. The float operations are identical to eval's, in the same
+// order, so the results are bit-for-bit unchanged.
 func (p MOSParams) stamp(vd, vg, vs float64) (id, gdd, gdg, gds float64) {
+	return mosStamp(&p, vd, vg, vs)
+}
+
+// mosStamp is stamp without the value-receiver copy: the reduced and
+// batched Newton loops call it directly with a pointer into the element
+// slice, which saves copying the parameter struct five times per iteration.
+// cell6Iter carries a hand-inlined copy of this body (the compiler's inline
+// budget rejects it); any model change here must be mirrored there.
+func mosStamp(p *MOSParams, vd, vg, vs float64) (id, gdd, gdg, gds float64) {
+	neg := 1.0
 	if p.Type == PMOS {
 		// Id = -In(-vd,-vg,-vs): the two mirror signs cancel in every
 		// partial, so the PMOS partials equal the dual NMOS partials at the
 		// mirrored operating point.
-		n := p
-		n.Type = NMOS
-		id, gdd, gdg, gds = n.stamp(-vd, -vg, -vs)
-		return -id, gdd, gdg, gds
+		vd, vg, vs = -vd, -vg, -vs
+		neg = -1
 	}
-	if vd >= vs {
-		// Forward operation: eval's gm = dId/dVgs and gds = dId/dVds give
-		// the terminal partials directly.
-		i, gm, gd := p.eval(vd, vg, vs)
-		return i, gd, gm, -(gm + gd)
+	sign := 1.0
+	if vd < vs {
+		vd, vs = vs, vd
+		sign = -1
 	}
-	// Reversed operation: eval swaps drain and source internally and negates
-	// the current, but returns gm/gds of the forward-oriented device, i.e.
-	// Id(vd,vg,vs) = -If(vg-vd, vs-vd). The chain rule maps them back to the
+	vgs := vg - vs
+	vds := vd - vs
+	vov := vgs - p.VT0
+
+	const gmin = 1e-12
+	beta := p.KP * p.W / p.L
+	var i, gm, gd float64
+	switch {
+	case vov <= 0:
+		i = gmin * vds
+		gd = gmin
+		gm = 0
+	case vds < vov:
+		clm := 1 + p.Lambda*vds
+		i = beta * (vov*vds - vds*vds/2) * clm
+		gm = beta * vds * clm
+		gd = beta*(vov-vds)*clm + beta*(vov*vds-vds*vds/2)*p.Lambda + gmin
+	default:
+		clm := 1 + p.Lambda*vds
+		i = beta / 2 * vov * vov * clm
+		gm = beta * vov * clm
+		gd = beta/2*vov*vov*p.Lambda + gmin
+	}
+	i *= sign
+	if sign > 0 {
+		// Forward operation: gm = dId/dVgs and gds = dId/dVds give the
+		// terminal partials directly.
+		return neg * i, gd, gm, -(gm + gd)
+	}
+	// Reversed operation: drain and source swapped above and the current
+	// negated; the chain rule maps the forward-oriented gm/gd back to the
 	// external terminals.
-	i, gm, gd := p.eval(vd, vg, vs)
-	return i, gm + gd, -gm, -gd
+	return neg * i, gm + gd, -gm, -gd
 }

@@ -33,6 +33,11 @@ type Transient struct {
 	dim int       // nv + number of voltage sources
 	v   []float64 // current node voltages, index node-1
 
+	// newtIters accumulates Newton iterations across every solve since the
+	// last Reset, including failed and later-rewound ones: the total
+	// iteration work a run performed, reported via StepStats.NewtonIters.
+	newtIters int
+
 	red *reduced // incremental engine; nil when running the dense reference
 
 	// Dense reference workspace.
@@ -111,6 +116,7 @@ func (tr *Transient) Time() float64 { return tr.t }
 func (tr *Transient) Reset() {
 	tr.t = 0
 	tr.dt = tr.baseDt
+	tr.newtIters = 0
 	for i := range tr.v {
 		tr.v[i] = 0
 	}
@@ -164,9 +170,10 @@ func (tr *Transient) setDt(dt float64) {
 // stepper attempt a trial step and retract it on an error-estimate or
 // Newton failure.
 type engineState struct {
-	t, dt float64
-	steps int
-	v     []float64 // node voltages
+	t, dt  float64
+	steps  int
+	dtLast float64   // reduced-engine predictor slope scale
+	v      []float64 // node voltages
 	// Reduced-engine Newton history (nil when running the dense reference).
 	xPrev, xPrev2 []float64
 	// Dense-engine solution vector (nil on the incremental path).
@@ -191,6 +198,7 @@ func (tr *Transient) save(s *engineState) {
 	copy(s.v, tr.v)
 	if tr.red != nil {
 		s.steps = tr.red.steps
+		s.dtLast = tr.red.dtLast
 		copy(s.xPrev, tr.red.xPrev)
 		copy(s.xPrev2, tr.red.xPrev2)
 	} else {
@@ -206,6 +214,7 @@ func (tr *Transient) load(s *engineState) {
 	copy(tr.v, s.v)
 	if tr.red != nil {
 		tr.red.steps = s.steps
+		tr.red.dtLast = s.dtLast
 		copy(tr.red.xPrev, s.xPrev)
 		copy(tr.red.xPrev2, s.xPrev2)
 	} else {
@@ -256,6 +265,25 @@ type gDrivenEntry struct {
 	g    float64
 }
 
+// mosPlan caches one MOSFET's terminal routing into the reduced system,
+// resolved once at construction: per terminal the reduced index (rd/rg/rs,
+// -1 when the terminal is driven or ground) and the node-1 index into vdrv
+// for driven terminals (dd/dg/ds, -1 otherwise; a ground terminal has both
+// at -1 and reads 0 V). The per-iteration stamp — five devices, every
+// Newton iteration of every Monte-Carlo solve — then runs without node-id
+// maps, method calls, or closures.
+type mosPlan struct {
+	rd, rg, rs int
+	dd, dg, ds int
+}
+
+// capPlan caches a capacitor's reduced rows and node-1 history indices for
+// the per-step companion-current pass.
+type capPlan struct {
+	ra, rb int // reduced rows, -1 when the plate is driven or ground
+	na, nb int // node-1 for the vPrev read, -1 for ground
+}
+
 // reduced is the incremental-assembly engine state. Indices into the
 // reduced system cover only undriven, non-ground nodes.
 type reduced struct {
@@ -268,6 +296,11 @@ type reduced struct {
 	gStatic []float64 // ku*ku: resistors, capacitor conductances, leak
 	gDriven []gDrivenEntry
 
+	mosPlans []mosPlan    // per-MOSFET terminal routing, fixed by the topology
+	mosPtr   []*MOSParams // stable pointers into the circuit's element values
+	capPlans []capPlan    // per-capacitor routing for the companion currents
+	cell6    bool         // Newton matrix fits cellPattern6: use cell6Iter
+
 	vdrv   []float64 // node-1 -> driven voltage at the end of the step
 	zStep  []float64 // per-step RHS (capacitor companions + driven terms)
 	a      []float64 // Newton workspace: ku*ku matrix
@@ -276,6 +309,7 @@ type reduced struct {
 	xPrev  []float64 // converged reduced solution of the previous step
 	xPrev2 []float64 // solution two steps back (Newton predictor)
 	steps  int       // completed steps (predictor needs two)
+	dtLast float64   // step size that produced xPrev (predictor slope scaling)
 }
 
 // newReduced builds the incremental engine, or returns nil when the circuit
@@ -314,6 +348,23 @@ func newReduced(c *Circuit, nv int, dt float64, v []float64) *reduced {
 		r.ku++
 	}
 
+	for _, m := range c.mosfets {
+		r.mosPlans = append(r.mosPlans, mosPlan{
+			rd: r.reducedOf(m.d), rg: r.reducedOf(m.g), rs: r.reducedOf(m.s),
+			dd: r.drvIdx(m.d), dg: r.drvIdx(m.g), ds: r.drvIdx(m.s),
+		})
+	}
+	for _, cp := range c.caps {
+		r.capPlans = append(r.capPlans, capPlan{
+			ra: r.reducedOf(cp.a), rb: r.reducedOf(cp.b),
+			na: cp.a - 1, nb: cp.b - 1,
+		})
+	}
+	for i := range c.mosfets {
+		r.mosPtr = append(r.mosPtr, &c.mosfets[i].params)
+	}
+	r.cell6 = r.ku == 6 && r.fitsCellPattern(c)
+
 	ku := r.ku
 	r.gStatic = make([]float64, ku*ku)
 	r.zStep = make([]float64, ku)
@@ -334,6 +385,7 @@ func newReduced(c *Circuit, nv int, dt float64, v []float64) *reduced {
 func (r *reduced) restamp(c *Circuit, dt float64, v []float64) {
 	r.stampStatics(c, dt)
 	r.steps = 0
+	r.dtLast = dt
 	for i, n := range r.nodes {
 		r.xPrev[i] = v[n-1]
 		r.xPrev2[i] = 0
@@ -361,15 +413,14 @@ func (r *reduced) stampStatics(c *Circuit, dt float64) {
 	}
 }
 
-// setDt re-stamps the static system for a new step size, preserving the
-// Newton history. The linear predictor's slope assumes two equally-sized
-// completed steps, so the step counter is capped to fall back to the
-// previous-solution initial guess until two steps at the new size complete.
+// setDt re-stamps the static system for a new step size. The Newton history
+// survives intact: the extrapolating predictor rescales its slope by the
+// dtNew/dtOld ratio at the next step (see stepReduced), so a step-size
+// change no longer costs two copy-previous initial guesses — on the
+// adaptive path, which changes dt on nearly every coarse transition, that
+// is worth about one Newton iteration per solve.
 func (r *reduced) setDt(c *Circuit, dt float64) {
 	r.stampStatics(c, dt)
-	if r.steps > 1 {
-		r.steps = 1
-	}
 }
 
 // reset rewinds the incremental engine for Transient.Reset.
@@ -412,6 +463,66 @@ func (r *reduced) drivenNode(node int) bool {
 	return node != Ground && r.isDrv[node-1]
 }
 
+// drvIdx returns the node-1 index into vdrv for driven nodes, -1 otherwise.
+func (r *reduced) drvIdx(node int) int {
+	if r.drivenNode(node) {
+		return node - 1
+	}
+	return -1
+}
+
+// fitsCellPattern reports whether every entry the stamps can touch lies
+// within cellPattern6, the precondition for the structure-exploiting
+// solve6Cell. It over-approximates: an entry is counted as touchable if any
+// resistor, capacitor, leak term, or MOSFET linearization writes it,
+// whether or not the written value is ever nonzero, so a true result
+// guarantees the off-pattern entries stay exactly zero through every Newton
+// iteration.
+func (r *reduced) fitsCellPattern(c *Circuit) bool {
+	var mask [6]uint8
+	for i := range mask {
+		mask[i] |= 1 << i // leak diagonal
+	}
+	pair := func(ra, rb int) {
+		if ra >= 0 {
+			mask[ra] |= 1 << ra
+			if rb >= 0 {
+				mask[ra] |= 1 << rb
+				mask[rb] |= 1 << ra
+			}
+		}
+		if rb >= 0 {
+			mask[rb] |= 1 << rb
+		}
+	}
+	for _, res := range c.resistors {
+		pair(r.reducedOf(res.a), r.reducedOf(res.b))
+	}
+	for _, cp := range c.caps {
+		pair(r.reducedOf(cp.a), r.reducedOf(cp.b))
+	}
+	for _, pl := range r.mosPlans {
+		var cols uint8
+		for _, rt := range [3]int{pl.rd, pl.rg, pl.rs} {
+			if rt >= 0 {
+				cols |= 1 << rt
+			}
+		}
+		if pl.rd >= 0 {
+			mask[pl.rd] |= cols
+		}
+		if pl.rs >= 0 {
+			mask[pl.rs] |= cols
+		}
+	}
+	for i := range mask {
+		if mask[i]&^cellPattern6[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // vIter reads a node voltage at the current Newton iterate.
 func (r *reduced) vIter(node int) float64 {
 	if node == Ground {
@@ -425,32 +536,74 @@ func (r *reduced) vIter(node int) float64 {
 
 // stampMOSAnalytic adds one MOSFET's analytic linearization to the Newton
 // system: only the handful of entries the device touches change per
-// iteration.
-func (r *reduced) stampMOSAnalytic(m mosfet) {
-	vd, vg, vs := r.vIter(m.d), r.vIter(m.g), r.vIter(m.s)
-	id, gdd, gdg, gds := m.params.stamp(vd, vg, vs)
+// iteration. The plan resolves every terminal's routing up front, so the
+// stamp is straight-line index arithmetic; the adds run in the same order
+// (drain row: d, g, s; then source row: d, g, s) with the same float
+// operations as the routing-at-stamp-time form it replaced.
+func (r *reduced) stampMOSAnalytic(m *mosfet, pl mosPlan) {
+	var vd, vg, vs float64
+	if pl.rd >= 0 {
+		vd = r.newt[pl.rd]
+	} else if pl.dd >= 0 {
+		vd = r.vdrv[pl.dd]
+	}
+	if pl.rg >= 0 {
+		vg = r.newt[pl.rg]
+	} else if pl.dg >= 0 {
+		vg = r.vdrv[pl.dg]
+	}
+	if pl.rs >= 0 {
+		vs = r.newt[pl.rs]
+	} else if pl.ds >= 0 {
+		vs = r.vdrv[pl.ds]
+	}
+	id, gdd, gdg, gds := mosStamp(&m.params, vd, vg, vs)
 	ieq := id - gdd*vd - gdg*vg - gds*vs
 
 	ku := r.ku
-	add := func(row, term int, coeff float64) { //detlint:ignore hotalloc non-escaping closure, called in place; the witness asserts 0 allocs/run
-		if rt := r.reducedOf(term); rt >= 0 {
-			r.a[row*ku+rt] += coeff
-		} else if r.drivenNode(term) {
-			r.z[row] -= coeff * r.vdrv[term-1]
+	if rd := pl.rd; rd >= 0 {
+		row := rd * ku
+		r.a[row+rd] += gdd
+		if pl.rg >= 0 {
+			r.a[row+pl.rg] += gdg
+		} else if pl.dg >= 0 {
+			r.z[rd] -= gdg * r.vdrv[pl.dg]
 		}
-	}
-	if rd := r.reducedOf(m.d); rd >= 0 {
-		add(rd, m.d, gdd)
-		add(rd, m.g, gdg)
-		add(rd, m.s, gds)
+		if pl.rs >= 0 {
+			r.a[row+pl.rs] += gds
+		} else if pl.ds >= 0 {
+			r.z[rd] -= gds * r.vdrv[pl.ds]
+		}
 		r.z[rd] -= ieq
 	}
-	if rs := r.reducedOf(m.s); rs >= 0 {
-		add(rs, m.d, -gdd)
-		add(rs, m.g, -gdg)
-		add(rs, m.s, -gds)
+	if rs := pl.rs; rs >= 0 {
+		row := rs * ku
+		if pl.rd >= 0 {
+			r.a[row+pl.rd] += -gdd
+		} else if pl.dd >= 0 {
+			r.z[rs] -= -gdd * r.vdrv[pl.dd]
+		}
+		if pl.rg >= 0 {
+			r.a[row+pl.rg] += -gdg
+		} else if pl.dg >= 0 {
+			r.z[rs] -= -gdg * r.vdrv[pl.dg]
+		}
+		r.a[row+rs] += -gds
 		r.z[rs] += ieq
 	}
+}
+
+// solveGeneric performs one copy-stamp-solve Newton iteration on the heap
+// workspace: the full static restore, the per-device stamps, and the
+// partial-pivot solve. It is the only iteration form for non-cell
+// topologies, and the redo path when cell6Iter declines an iteration.
+func (r *reduced) solveGeneric(c *Circuit) error {
+	copy(r.a, r.gStatic)
+	copy(r.z, r.zStep)
+	for mi := range c.mosfets {
+		r.stampMOSAnalytic(&c.mosfets[mi], r.mosPlans[mi])
+	}
+	return solveDense(r.a, r.z, r.ku)
 }
 
 // stepReduced advances one backward-Euler step on the incremental engine.
@@ -469,59 +622,86 @@ func (tr *Transient) stepReduced() error {
 	for _, e := range r.gDriven {
 		r.zStep[e.row] += e.g * r.vdrv[e.node-1]
 	}
-	for _, c := range tr.ckt.caps {
-		geq := c.farads / tr.dt
-		ieq := geq * (tr.vPrev(c.a) - tr.vPrev(c.b))
-		if ra := r.reducedOf(c.a); ra >= 0 {
-			r.zStep[ra] += ieq
+	for ci := range tr.ckt.caps {
+		pl := r.capPlans[ci]
+		geq := tr.ckt.caps[ci].farads / tr.dt
+		var va, vb float64
+		if pl.na >= 0 {
+			va = tr.v[pl.na]
 		}
-		if rb := r.reducedOf(c.b); rb >= 0 {
-			r.zStep[rb] -= ieq
+		if pl.nb >= 0 {
+			vb = tr.v[pl.nb]
+		}
+		ieq := geq * (va - vb)
+		if pl.ra >= 0 {
+			r.zStep[pl.ra] += ieq
+		}
+		if pl.rb >= 0 {
+			r.zStep[pl.rb] -= ieq
 		}
 	}
 
 	// Newton initial guess: linear extrapolation of the last two converged
-	// solutions (fixed step, so the slope needs no scaling). The predictor
-	// only changes where the iteration starts, not the fixed point it
-	// converges to, and typically saves an iteration on smooth ramps.
+	// solutions. The predictor only changes where the iteration starts, not
+	// the fixed point it converges to, and typically saves an iteration on
+	// smooth ramps. When the step size just changed, the slope is rescaled
+	// by dtNew/dtOld so the extrapolation survives setDt; the equal-step
+	// case keeps the literal 2*x-y form, which the fixed-grid goldens pin
+	// (x+r*(x-y) at r=1 differs from 2*x-y by an ulp).
 	if r.steps >= 2 {
-		for i := range r.newt {
-			r.newt[i] = 2*r.xPrev[i] - r.xPrev2[i]
+		if tr.dt == r.dtLast {
+			for i := range r.newt {
+				r.newt[i] = 2*r.xPrev[i] - r.xPrev2[i]
+			}
+		} else {
+			ratio := tr.dt / r.dtLast
+			for i := range r.newt {
+				r.newt[i] = r.xPrev[i] + ratio*(r.xPrev[i]-r.xPrev2[i])
+			}
 		}
 	} else {
 		copy(r.newt, r.xPrev)
 	}
 	for iter := 0; iter < newtonMaxIters; iter++ {
-		copy(r.a, r.gStatic)
-		copy(r.z, r.zStep)
-		for _, m := range tr.ckt.mosfets {
-			r.stampMOSAnalytic(m)
+		// The cell fast path runs the whole iteration — assembly, solve,
+		// damped update — in stack arrays; when a pivot guard trips it has
+		// written nothing, so redoing the iteration through the generic
+		// path reproduces the identical elimination prefix and resolves
+		// the pivot as solveDense would.
+		var maxDelta float64
+		ok := false
+		if r.cell6 {
+			maxDelta, ok = cell6Iter(r.gStatic, r.zStep, r.newt, r.vdrv, r.mosPlans, r.mosPtr)
 		}
-		if err := solveDense(r.a, r.z, r.ku); err != nil {
-			return fmt.Errorf("t=%.3gs: %w", tNext, err) //detlint:ignore hotalloc error path, never taken by a converging run
-		}
-		// tr.red.z now holds the solution.
-		maxDelta := 0.0
-		for i := 0; i < r.ku; i++ {
-			d := r.z[i] - r.newt[i]
-			if abs(d) > maxDelta {
-				maxDelta = abs(d)
+		if !ok {
+			if err := r.solveGeneric(tr.ckt); err != nil {
+				return fmt.Errorf("t=%.3gs: %w", tNext, err) //detlint:ignore hotalloc error path, never taken by a converging run
 			}
-			// Damp to keep the latch transition stable (every reduced
-			// unknown is a node voltage).
-			if abs(d) > newtonMaxDelta {
-				if d > 0 {
-					d = newtonMaxDelta
-				} else {
-					d = -newtonMaxDelta
+			// tr.red.z now holds the solution. Keep this update loop in
+			// lockstep with the fused one at the end of cell6Iter.
+			for i := 0; i < r.ku; i++ {
+				d := r.z[i] - r.newt[i]
+				if abs(d) > maxDelta {
+					maxDelta = abs(d)
 				}
+				// Damp to keep the latch transition stable (every reduced
+				// unknown is a node voltage).
+				if abs(d) > newtonMaxDelta {
+					if d > 0 {
+						d = newtonMaxDelta
+					} else {
+						d = -newtonMaxDelta
+					}
+				}
+				r.newt[i] += d
 			}
-			r.newt[i] += d
 		}
 		if maxDelta < newtonTol {
+			tr.newtIters += iter + 1
 			r.xPrev, r.xPrev2 = r.xPrev2, r.xPrev
 			copy(r.xPrev, r.newt)
 			r.steps++
+			r.dtLast = tr.dt
 			for i, n := range r.nodes {
 				tr.v[n-1] = r.newt[i]
 			}
@@ -532,6 +712,7 @@ func (tr *Transient) stepReduced() error {
 			return nil
 		}
 	}
+	tr.newtIters += newtonMaxIters
 	return fmt.Errorf("t=%.3gs: %w", tNext, ErrNoConverge) //detlint:ignore hotalloc error path, never taken by a converging run
 }
 
@@ -567,12 +748,14 @@ func (tr *Transient) stepDense() error {
 			tr.newt[i] += d
 		}
 		if maxDelta < newtonTol {
+			tr.newtIters += iter + 1
 			copy(tr.x, tr.newt)
 			copy(tr.v, tr.newt[:tr.nv])
 			tr.t = tNext
 			return nil
 		}
 	}
+	tr.newtIters += newtonMaxIters
 	return fmt.Errorf("t=%.3gs: %w", tNext, ErrNoConverge) //detlint:ignore hotalloc error path, never taken by a converging run
 }
 

@@ -42,6 +42,7 @@ var metrics = []metric{
 	{"mc_agg_runs_per_sec", "MC agg runs/s", "", 0},
 	{"mc_agg_bytes_per_run", "bytes/run", "", 0},
 	{"shard_merge_runs_per_sec", "shard-merge runs/s", "", 0},
+	{"detlint_ns_per_pkg", "detlint ns/pkg", "", 0},
 }
 
 const (

@@ -4,6 +4,7 @@
 //
 //	go run ./cmd/detlint ./...          # human-readable, exit 1 on findings
 //	go run ./cmd/detlint -json ./...    # machine-readable diagnostics
+//	go run ./cmd/detlint -sarif ./...   # SARIF 2.1.0 log for code-scanning UIs
 //
 // The driver is self-contained so it works offline: package metadata and
 // compiler export data come from `go list -deps -export -json`, source is
@@ -64,37 +65,63 @@ func main() {
 	}
 
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log on stdout")
 	benchOut := flag.String("bench", "",
-		"after a clean run, record detlint_ns_per_pkg (wall time / packages analyzed) into this JSON snapshot file (read-modify-write)")
+		"after a run, record detlint_ns_per_pkg plus the per-analyzer detlint_analyzer_ns_per_pkg breakdown into this JSON snapshot file (read-modify-write)")
 	for _, a := range suite.All() {
 		a.Flags.VisitAll(func(f *flag.Flag) {
 			flag.Var(f.Value, a.Name+"."+f.Name, f.Usage)
 		})
 	}
 	flag.Parse()
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "detlint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	// Per-analyzer timing only runs under -bench: the injected clock keeps
+	// the wall-clock read here, under one reasoned suppression, instead of
+	// inside the analyzer core the detsource contract also covers.
+	var analyzerNS map[string]float64
+	var clock func() time.Time
+	var observe func(string, time.Duration)
+	if *benchOut != "" {
+		analyzerNS = make(map[string]float64)
+		clock = time.Now //detlint:ignore detsource self-timing of the analyzer run for the perf snapshot
+		observe = func(name string, elapsed time.Duration) {
+			analyzerNS[name] += float64(elapsed.Nanoseconds())
+		}
+	}
 	start := time.Now() //detlint:ignore detsource self-timing of the analyzer run for the perf snapshot
-	findings, npkgs, err := lint(".", patterns)
+	findings, npkgs, err := lint(".", patterns, clock, observe)
 	elapsed := time.Since(start) //detlint:ignore detsource self-timing of the analyzer run for the perf snapshot
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "detlint:", err)
 		os.Exit(2)
 	}
-	if *jsonOut {
-		if err := writeJSON(os.Stdout, findings); err != nil {
-			fmt.Fprintln(os.Stderr, "detlint:", err)
-			os.Exit(2)
-		}
-	} else {
+	switch {
+	case *jsonOut:
+		err = writeJSON(os.Stdout, findings)
+	case *sarifOut:
+		err = writeSARIF(os.Stdout, findings, suite.All())
+	default:
 		for _, f := range findings {
 			fmt.Printf("%s: [%s] %s\n", relPos(f.Pos), f.Analyzer, f.Message)
 		}
 	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
 	if *benchOut != "" && npkgs > 0 {
-		if err := recordBench(*benchOut, float64(elapsed.Nanoseconds())/float64(npkgs)); err != nil {
+		perAnalyzer := make(map[string]float64, len(analyzerNS))
+		for name, ns := range analyzerNS {
+			perAnalyzer[name] = ns / float64(npkgs)
+		}
+		if err := recordBench(*benchOut, float64(elapsed.Nanoseconds())/float64(npkgs), perAnalyzer); err != nil {
 			fmt.Fprintln(os.Stderr, "detlint:", err)
 			os.Exit(2)
 		}
@@ -104,10 +131,11 @@ func main() {
 	}
 }
 
-// recordBench merges detlint_ns_per_pkg into the JSON object at path,
-// preserving every other key (BENCH_spice.json is owned by cmd/spicebench;
-// this is the analyzer-cost line of the same perf snapshot).
-func recordBench(path string, nsPerPkg float64) error {
+// recordBench merges detlint_ns_per_pkg and the per-analyzer breakdown
+// into the JSON object at path, preserving every other key
+// (BENCH_spice.json is owned by cmd/spicebench; these are the
+// analyzer-cost lines of the same perf snapshot).
+func recordBench(path string, nsPerPkg float64, perAnalyzer map[string]float64) error {
 	snapshot := make(map[string]any)
 	if b, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(b, &snapshot); err != nil {
@@ -117,6 +145,9 @@ func recordBench(path string, nsPerPkg float64) error {
 		return err
 	}
 	snapshot["detlint_ns_per_pkg"] = nsPerPkg
+	if len(perAnalyzer) > 0 {
+		snapshot["detlint_analyzer_ns_per_pkg"] = perAnalyzer
+	}
 	// Map marshaling sorts keys, so repeated -bench runs rewrite the file
 	// identically; cmd/spicebench carries the key through its own rewrites.
 	b, err := json.MarshalIndent(snapshot, "", "  ")
@@ -143,8 +174,9 @@ type listedPkg struct {
 // full analyzer suite over every non-dependency, non-test package, in
 // dependency order under one shared fact store so facts exported while
 // analyzing a package are visible at its importers' call sites. It returns
-// the findings plus the number of packages analyzed (for -bench).
-func lint(dir string, patterns []string) ([]detlint.Finding, int, error) {
+// the findings plus the number of packages analyzed (for -bench). A
+// non-nil clock enables per-analyzer timing, reported through observe.
+func lint(dir string, patterns []string, clock func() time.Time, observe func(string, time.Duration)) ([]detlint.Finding, int, error) {
 	pkgs, err := load(dir, patterns)
 	if err != nil {
 		return nil, 0, err
@@ -201,7 +233,7 @@ func lint(dir string, patterns []string) ([]detlint.Finding, int, error) {
 		if len(target.CgoFiles) > 0 {
 			return nil, 0, fmt.Errorf("%s uses cgo, which this driver cannot type-check", target.ImportPath)
 		}
-		pkgFindings, err := lintPackage(fset, imp, target, analyzers, store)
+		pkgFindings, err := lintPackage(fset, imp, target, analyzers, store, clock, observe)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -212,7 +244,7 @@ func lint(dir string, patterns []string) ([]detlint.Finding, int, error) {
 }
 
 // lintPackage parses, type-checks and analyzes one package.
-func lintPackage(fset *token.FileSet, imp types.Importer, target listedPkg, analyzers []*analysis.Analyzer, store *detlint.FactStore) ([]detlint.Finding, error) {
+func lintPackage(fset *token.FileSet, imp types.Importer, target listedPkg, analyzers []*analysis.Analyzer, store *detlint.FactStore, clock func() time.Time, observe func(string, time.Duration)) ([]detlint.Finding, error) {
 	files := make([]*ast.File, 0, len(target.GoFiles))
 	for _, name := range target.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(target.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
@@ -227,7 +259,7 @@ func lintPackage(fset *token.FileSet, imp types.Importer, target listedPkg, anal
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %w", target.ImportPath, err)
 	}
-	return detlint.RunAnalyzersFacts(&detlint.Package{Fset: fset, Files: files, Types: tpkg, Info: info}, analyzers, store)
+	return detlint.RunAnalyzersObserved(&detlint.Package{Fset: fset, Files: files, Types: tpkg, Info: info}, analyzers, store, clock, observe)
 }
 
 // load shells out to `go list` for package metadata plus export data for
@@ -286,6 +318,96 @@ func writeJSON(w io.Writer, findings []detlint.Finding) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 envelope, the subset code-scanning UIs consume: one run,
+// one rule per analyzer, one result per finding. Struct-typed so the
+// envelope shape is pinned by the compiler and the hermetic test.
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF emits findings as a SARIF 2.1.0 log. Results is always an
+// array ([] when clean), and every analyzer appears as a rule whether or
+// not it fired, so consumers see the full suite.
+func writeSARIF(w io.Writer, findings []detlint.Finding, analyzers []*analysis.Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(relPath(f.Pos.Filename))},
+				Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			}}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "detlint", InformationURI: "https://github.com/dramstudy/rhvpp", Rules: rules}},
+			Results: results,
+		}},
+	})
 }
 
 // relPos renders a position with a cwd-relative file path.

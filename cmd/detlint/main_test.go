@@ -8,8 +8,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/dramstudy/rhvpp/internal/analysis/detlint"
+	"github.com/dramstudy/rhvpp/internal/analysis/suite"
 )
 
 // writeModule materializes a throwaway Go module under a temp dir so the
@@ -64,9 +66,21 @@ func Collect(m map[string]int) []int {
 `,
 	})
 
-	findings, npkgs, err := lint(dir, []string{"./..."})
+	// A fake injected clock proves the timing hook fires per analyzer
+	// without reading the wall clock in a deterministic test.
+	var fake time.Time
+	clock := func() time.Time { fake = fake.Add(time.Microsecond); return fake }
+	timed := make(map[string]time.Duration)
+	findings, npkgs, err := lint(dir, []string{"./..."}, clock, func(name string, elapsed time.Duration) {
+		timed[name] += elapsed
+	})
 	if err != nil {
 		t.Fatalf("lint: %v", err)
+	}
+	for _, a := range suite.All() {
+		if _, ok := timed[a.Name]; !ok {
+			t.Errorf("per-analyzer timing missing entry for %s", a.Name)
+		}
 	}
 	if npkgs != 2 {
 		t.Errorf("lint analyzed %d packages, want 2", npkgs)
@@ -104,7 +118,7 @@ import "time"
 func Stamp() int64 { return time.Now().UnixNano() }
 `,
 	})
-	findings, _, err := lint(dir, []string{"./..."})
+	findings, _, err := lint(dir, []string{"./..."}, nil, nil)
 	if err != nil {
 		t.Fatalf("lint: %v", err)
 	}
@@ -173,5 +187,95 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if len(out) != 1 || out[0].Analyzer != "maporder" || out[0].Line != 3 || out[0].Column != 7 || out[0].Message != "boom" {
 		t.Errorf("round-trip mismatch: %+v", out)
+	}
+}
+
+// TestWriteSARIF pins the envelope: version/$schema, one run, a rule per
+// suite analyzer, and results always an array.
+func TestWriteSARIF(t *testing.T) {
+	analyzers := suite.All()
+
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, nil, analyzers); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("envelope version/$schema = %q/%q, want 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "detlint" {
+		t.Errorf("driver name = %q, want detlint", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(analyzers) {
+		t.Errorf("got %d rules, want one per analyzer (%d)", len(run.Tool.Driver.Rules), len(analyzers))
+	}
+	if run.Results == nil || len(run.Results) != 0 {
+		t.Errorf("clean run must encode results as an empty array, got %#v", run.Results)
+	}
+	// The results key must be present even when empty (omitempty would
+	// drop it and break strict consumers).
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["runs"].([]any)[0].(map[string]any)["results"]; !ok {
+		t.Error("clean SARIF log omits the results array")
+	}
+
+	buf.Reset()
+	in := []detlint.Finding{{Analyzer: "goshared", Message: "boom"}}
+	in[0].Pos.Filename = "runner.go"
+	in[0].Pos.Line = 5
+	in[0].Pos.Column = 2
+	if err := writeSARIF(&buf, in, analyzers); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	res := log.Runs[0].Results
+	if len(res) != 1 || res[0].RuleID != "goshared" || res[0].Level != "warning" || res[0].Message.Text != "boom" {
+		t.Fatalf("result mismatch: %+v", res)
+	}
+	loc := res[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "runner.go" || loc.Region.StartLine != 5 || loc.Region.StartColumn != 2 {
+		t.Errorf("location mismatch: %+v", loc)
+	}
+}
+
+// TestRecordBenchPerAnalyzer pins that -bench writes the per-analyzer
+// breakdown while preserving unrelated snapshot keys.
+func TestRecordBenchPerAnalyzer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(`{"mc_runs_per_sec_jobs1": 2600}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := recordBench(path, 123.5, map[string]float64{"goshared": 10, "optfinger": 20}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		MC       float64            `json:"mc_runs_per_sec_jobs1"`
+		NS       float64            `json:"detlint_ns_per_pkg"`
+		Analyzer map[string]float64 `json:"detlint_analyzer_ns_per_pkg"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.MC != 2600 {
+		t.Errorf("unrelated key clobbered: %v", snap.MC)
+	}
+	if snap.NS != 123.5 || snap.Analyzer["goshared"] != 10 || snap.Analyzer["optfinger"] != 20 {
+		t.Errorf("bench keys mismatch: %+v", snap)
 	}
 }

@@ -94,6 +94,10 @@ type Snapshot struct {
 	// last recorded value through its own rewrites so the field survives a
 	// baseline refresh.
 	DetlintNSPerPkg float64 `json:"detlint_ns_per_pkg,omitempty"`
+	// DetlintAnalyzerNSPerPkg is the per-analyzer breakdown of the same
+	// run, keyed by analyzer name; carried through rewrites like the
+	// total.
+	DetlintAnalyzerNSPerPkg map[string]float64 `json:"detlint_analyzer_ns_per_pkg,omitempty"`
 }
 
 func main() {
@@ -116,6 +120,7 @@ func main() {
 			var old Snapshot
 			if json.Unmarshal(prev, &old) == nil {
 				snap.DetlintNSPerPkg = old.DetlintNSPerPkg
+				snap.DetlintAnalyzerNSPerPkg = old.DetlintAnalyzerNSPerPkg
 			}
 		}
 	}

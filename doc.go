@@ -56,5 +56,10 @@
 //
 // The coding invariants behind the byte-identical guarantee are catalogued
 // in docs/DETERMINISM.md and enforced statically by the internal/analysis
-// suite: `go run ./cmd/detlint ./...`.
+// suite: `go run ./cmd/detlint ./...`. The shard protocol itself is under
+// the same suite (docs/CONTRACTS.md): the canonical options fingerprint in
+// this package's canonicalOptions is pinned to the Options struct's
+// //detlint:fingerprint freeze, its exclusions carry //detlint:execshape
+// justifications, and the study-dispatch switches here must cover the
+// whole catalog exported by internal/experiments.
 package rhvpp

@@ -1,0 +1,267 @@
+// Package goshared defines an analyzer that flags goroutine closures
+// writing captured state — the static complement to the race detector,
+// which only sees the interleavings a test happens to execute.
+//
+// The repo's concurrency contract (docs/CONTRACTS.md, "Shared state")
+// confines cross-goroutine writes to the sanctioned primitives: pool.Run /
+// pool.RunOrdered hand each worker an exclusive result slot, and channels
+// hand values off wholesale. Everything else — a `go func() { ... }`
+// closure assigning a captured variable, mutating a captured map or slice
+// element, or writing through a captured pointer — is a data race waiting
+// for the scheduler to expose it, and worse, a nondeterminism source even
+// when "benign": racing writes make output depend on interleaving order.
+//
+// The analyzer walks the control-flow graph of every `go` function
+// literal (reachable blocks only) and reports writes whose root object is
+// captured from an enclosing function or is package-level. Channel sends
+// are never flagged (handoff is the sanctioned idiom), and reads are
+// always fine. Writes inside a CFG cycle race on every iteration and say
+// so. Calls through non-literal function values (`go worker(i)`) pass
+// arguments by value and are not analyzed.
+//
+// The sanctioned-primitive packages themselves are exempted by path via
+// -goshared.allow (default: the internal worker pool, whose slot writes
+// are the safe implementation the rest of the tree must call through).
+package goshared
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/detlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goshared",
+	Doc: "flags goroutine closures that write captured variables or mutate captured maps/slices " +
+		"outside the sanctioned pool.Run/RunOrdered slots and channel handoff",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+// allowPattern exempts whole packages; the default exempts the sanctioned
+// worker pool, whose exclusive-slot writes are the safe primitive.
+var allowPattern = `(^|/)internal/pool$`
+
+func init() {
+	Analyzer.Flags.StringVar(&allowPattern, "allow", allowPattern,
+		"regexp of package paths exempt from the shared-state contract (the sanctioned primitives)")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	allow, err := regexp.Compile(allowPattern)
+	if err != nil {
+		return nil, err
+	}
+	if allow.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	rep := detlint.NewReporter(pass)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	insp.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		lit, ok := n.(*ast.GoStmt).Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return // go f(x): arguments pass by value, nothing is captured
+		}
+		captured := capturedVars(pass.TypesInfo, lit)
+		// The goroutine body plus any literals nested inside it share the
+		// goroutine's lifetime, so they are checked against the same
+		// captured set.
+		for _, l := range nestedLits(lit) {
+			checkLit(pass, rep, cfgs.FuncLit(l), captured)
+		}
+	})
+	return nil, nil
+}
+
+// capturedVars returns the variables used inside lit but declared outside
+// it, including package-level variables (which are shared by definition).
+// Fields are excluded; a field write is attributed to its base variable by
+// the write classifier instead.
+func capturedVars(info *types.Info, lit *ast.FuncLit) map[types.Object]bool {
+	declared := make(map[types.Object]bool)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				declared[obj] = true
+			}
+		}
+		return true
+	})
+	captured := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || declared[obj] || v.IsField() {
+			return true
+		}
+		captured[obj] = true
+		return true
+	})
+	return captured
+}
+
+// nestedLits returns lit plus every function literal nested inside it.
+func nestedLits(lit *ast.FuncLit) []*ast.FuncLit {
+	lits := []*ast.FuncLit{lit}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if l, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, l)
+		}
+		return true
+	})
+	return lits
+}
+
+// checkLit walks one literal's CFG (reachable blocks only; a write after
+// an unconditional return cannot race) and reports writes to captured
+// state.
+func checkLit(pass *analysis.Pass, rep *detlint.Reporter, g *cfg.CFG, captured map[types.Object]bool) {
+	if g == nil {
+		return
+	}
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		looped := inCycle(b)
+		for _, node := range b.Nodes {
+			classifyWrites(pass, rep, node, captured, looped)
+		}
+	}
+}
+
+// classifyWrites inspects one CFG node for write forms. Nested function
+// literals are skipped: their bodies live in their own CFGs and are
+// checked separately against the same captured set.
+func classifyWrites(pass *analysis.Pass, rep *detlint.Reporter, node ast.Node, captured map[types.Object]bool, looped bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			// := declares fresh variables in the goroutine's own scope;
+			// captured outer variables can only be hit by plain assignment.
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				reportWrite(pass, rep, lhs, captured, looped)
+			}
+		case *ast.IncDecStmt:
+			reportWrite(pass, rep, n.X, captured, looped)
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && len(n.Args) > 0 {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+					if obj := rootObject(pass.TypesInfo, n.Args[0]); obj != nil && captured[obj] {
+						rep.Reportf(n.Pos(), "goroutine closure deletes from captured map %s%s; %s", objName(obj), loopNote(looped), fixHint)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+const fixHint = "share results through pool.Run/RunOrdered slots or a channel handoff, not raced memory"
+
+// reportWrite classifies one assignment target and reports it when its
+// root object is captured.
+func reportWrite(pass *analysis.Pass, rep *detlint.Reporter, lhs ast.Expr, captured map[types.Object]bool, looped bool) {
+	note := loopNote(looped)
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[lhs]; obj != nil && captured[obj] {
+			rep.Reportf(lhs.Pos(), "goroutine closure writes captured variable %s%s; %s", lhs.Name, note, fixHint)
+		}
+	case *ast.IndexExpr:
+		obj := rootObject(pass.TypesInfo, lhs.X)
+		if obj == nil || !captured[obj] {
+			return
+		}
+		if detlint.IsMapType(pass.TypesInfo.TypeOf(lhs.X)) {
+			rep.Reportf(lhs.Pos(), "goroutine closure mutates captured map %s%s; %s", objName(obj), note, fixHint)
+		} else {
+			rep.Reportf(lhs.Pos(), "goroutine closure writes element of captured slice %s%s; %s", objName(obj), note, fixHint)
+		}
+	case *ast.SelectorExpr:
+		if obj := rootObject(pass.TypesInfo, lhs.X); obj != nil && captured[obj] {
+			rep.Reportf(lhs.Pos(), "goroutine closure writes field %s.%s of a captured variable%s; %s", objName(obj), lhs.Sel.Name, note, fixHint)
+		}
+	case *ast.StarExpr:
+		if obj := rootObject(pass.TypesInfo, lhs.X); obj != nil && captured[obj] {
+			rep.Reportf(lhs.Pos(), "goroutine closure writes through captured pointer %s%s; %s", objName(obj), note, fixHint)
+		}
+	}
+}
+
+func loopNote(looped bool) string {
+	if looped {
+		return " inside a loop (racing every iteration)"
+	}
+	return ""
+}
+
+// rootObject resolves an lvalue base expression to the variable it is
+// rooted in: a[i], a.f, *p, and chains thereof all root in a / p.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func objName(obj types.Object) string {
+	return obj.Name()
+}
+
+// inCycle reports whether b can reach itself through successor edges,
+// i.e. sits inside a loop of its CFG.
+func inCycle(b *cfg.Block) bool {
+	seen := make(map[*cfg.Block]bool)
+	var walk func(from *cfg.Block) bool
+	walk = func(from *cfg.Block) bool {
+		for _, s := range from.Succs {
+			if s == b {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				if walk(s) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(b)
+}

@@ -1,0 +1,12 @@
+package goshared_test
+
+import (
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/analysistest"
+	"github.com/dramstudy/rhvpp/internal/analysis/goshared"
+)
+
+func TestGoShared(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), goshared.Analyzer, "a", "clean", "internal/pool", "ignore")
+}

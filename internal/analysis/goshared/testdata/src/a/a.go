@@ -1,0 +1,103 @@
+// Package a exercises the flagged shared-state cases: goroutine closures
+// writing captured variables, slices, maps, fields, and pointers.
+package a
+
+// Plain writes a captured variable from the goroutine.
+func Plain() int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		total = 42 // want `goroutine closure writes captured variable total`
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+// Looped writes captured state on every loop iteration.
+func Looped(n int) int {
+	sum := 0
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			sum += i // want `writes captured variable sum inside a loop \(racing every iteration\)`
+		}
+		close(done)
+	}()
+	<-done
+	return sum
+}
+
+// SliceSlot writes an element of a captured slice — the raced version of
+// what pool.Run provides safely.
+func SliceSlot(xs []int) {
+	done := make(chan struct{})
+	go func() {
+		xs[0] = 1 // want `writes element of captured slice xs`
+		close(done)
+	}()
+	<-done
+}
+
+// MapWrite mutates and deletes from a captured map.
+func MapWrite(m map[string]int) {
+	done := make(chan struct{})
+	go func() {
+		m["k"] = 1     // want `mutates captured map m`
+		delete(m, "k") // want `deletes from captured map m`
+		close(done)
+	}()
+	<-done
+}
+
+type state struct{ n int }
+
+// FieldWrite writes a field of a captured struct variable.
+func FieldWrite() state {
+	var s state
+	done := make(chan struct{})
+	go func() {
+		s.n = 7 // want `writes field s.n of a captured variable`
+		close(done)
+	}()
+	<-done
+	return s
+}
+
+// PointerWrite writes through a captured pointer.
+func PointerWrite(p *int) {
+	done := make(chan struct{})
+	go func() {
+		*p = 3 // want `writes through captured pointer p`
+		close(done)
+	}()
+	<-done
+}
+
+// Nested hides the write in a literal nested inside the goroutine; the
+// nested body shares the goroutine's lifetime, so it is still flagged.
+func Nested() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		inc := func() {
+			n++ // want `writes captured variable n`
+		}
+		inc()
+		close(done)
+	}()
+	<-done
+	return n
+}
+
+// IncDec covers the ++/-- statement form.
+func IncDec() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n++ // want `writes captured variable n`
+		close(done)
+	}()
+	<-done
+	return n
+}

@@ -1,0 +1,72 @@
+// Package clean holds goroutine code following the shared-state contract;
+// any diagnostic here is a false positive.
+package clean
+
+// ChannelHandoff shares results through a channel, the sanctioned idiom.
+func ChannelHandoff(xs []int) int {
+	out := make(chan int, 1)
+	go func() {
+		sum := 0
+		for _, x := range xs {
+			sum += x // local accumulator, declared inside the goroutine
+		}
+		out <- sum // channel send is handoff, never flagged
+	}()
+	return <-out
+}
+
+// ByValue passes data as an argument; nothing is captured by a literal.
+func ByValue(x int, f func(int)) {
+	go f(x)
+}
+
+// ParamShadow declares the loop variable as a parameter of the literal,
+// the classic capture-avoidance idiom.
+func ParamShadow(n int) {
+	done := make(chan struct{}, n)
+	for g := 0; g < n; g++ {
+		go func(g int) {
+			local := g * 2
+			_ = local
+			done <- struct{}{}
+		}(g)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+// ReadOnly reads captured state without writing it.
+func ReadOnly(xs []int) int {
+	out := make(chan int, 1)
+	go func() {
+		out <- xs[0] + len(xs)
+	}()
+	return <-out
+}
+
+// DefineInside uses := inside the goroutine: fresh variables, not writes
+// to captured ones.
+func DefineInside(seed int) int {
+	out := make(chan int, 1)
+	go func() {
+		v := seed + 1
+		v *= 2
+		out <- v
+	}()
+	return <-out
+}
+
+// DeadWrite sits after an unconditional return: unreachable code cannot
+// race, and the CFG walk skips dead blocks.
+func DeadWrite() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		close(done)
+		return
+		n = 1 // unreachable: never executes, never races
+	}()
+	<-done
+	return n
+}

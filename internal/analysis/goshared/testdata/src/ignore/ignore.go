@@ -1,0 +1,54 @@
+// Package ignore exercises //detlint:ignore interplay for goshared: a
+// reasoned directive suppresses, an unreasoned one is itself reported and
+// suppresses nothing, and directives naming other analyzers do not leak.
+package ignore
+
+// SuppressedTrailing uses the trailing-comment form with a reason.
+func SuppressedTrailing() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n = 1 //detlint:ignore goshared single goroutine joined on done before the read
+		close(done)
+	}()
+	<-done
+	return n
+}
+
+// SuppressedOwnLine uses the own-line form covering the next line.
+func SuppressedOwnLine() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		//detlint:ignore goshared single goroutine joined on done before the read
+		n = 1
+		close(done)
+	}()
+	<-done
+	return n
+}
+
+// Unreasoned: the directive itself is reported and does not suppress.
+func Unreasoned() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n = 1 //detlint:ignore goshared // want `directive has no reason` `writes captured variable n`
+		close(done)
+	}()
+	<-done
+	return n
+}
+
+// WrongAnalyzer: a directive naming another analyzer does not suppress
+// this one.
+func WrongAnalyzer() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n = 1 //detlint:ignore maporder wrong analyzer name // want `writes captured variable n`
+		close(done)
+	}()
+	<-done
+	return n
+}

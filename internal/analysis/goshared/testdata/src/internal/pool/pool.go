@@ -1,0 +1,21 @@
+// Package pool models the sanctioned worker-pool primitive: its
+// exclusive-slot writes are exactly what goshared flags elsewhere, and the
+// default -goshared.allow pattern exempts the package wholesale.
+package pool
+
+// Run fans work out and writes each worker's result into its own slot —
+// the safe implementation the rest of the tree calls through.
+func Run(n int, fn func(int) int) []int {
+	out := make([]int, n)
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			out[i] = fn(i) // exempt: this package IS the sanctioned primitive
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	return out
+}

@@ -1,0 +1,510 @@
+// Package optfinger defines an analyzer guarding the canonical options
+// fingerprint that gates shard mergeability (docs/CONTRACTS.md,
+// "Fingerprint completeness").
+//
+// Shard artifacts are mergeable only when their canonical Options encoding
+// is byte-identical (internal/artifact.Merge compares the compacted JSON).
+// Two mistakes fracture that contract from opposite sides:
+//
+//   - A semantics-changing knob excluded from the encoding (zeroed in the
+//     canonicalizer, or hidden in an unexported field) lets incompatible
+//     shards merge silently.
+//   - A knob added without json:",omitempty" changes the canonical bytes of
+//     every artifact encoded before the field existed, fracturing merges
+//     across versions.
+//
+// The analyzer keys off two annotations. A struct whose canonical encoding
+// matters declares its frozen v1 field set on its doc comment:
+//
+//	//detlint:fingerprint v1=Seed,Geometry,Config,...
+//
+// Fields outside the v1 set must carry json:",omitempty" (so pre-existing
+// artifacts keep their bytes), and v1 fields must not (dropping a zero v1
+// field would change them). The annotation is exported as a FingerprintFact
+// on the type, so canonicalizers in other packages are checked too.
+//
+// A canonicalizer — a function that zeroes fields of a value and then
+// json.Marshals it — must justify every zeroed field as a genuine
+// exec-shape knob (one that changes how the result is computed, never what
+// it is) with a reasoned directive covering the assignment's line:
+//
+//	o.Jobs = 0 //detlint:execshape worker count shapes scheduling, not results
+//
+// An unreasoned execshape directive is itself reported and justifies
+// nothing, mirroring //detlint:ignore.
+package optfinger
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/detlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "optfinger",
+	Doc: "checks canonical-fingerprint completeness: every field of a //detlint:fingerprint struct " +
+		"flows into the canonical JSON encoding or is zeroed under a reasoned //detlint:execshape, " +
+		"and post-v1 fields carry json:\",omitempty\" so old shard artifacts stay decodable",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*FingerprintFact)(nil)},
+	Run:       run,
+}
+
+// FingerprintFact marks a type as carrying a //detlint:fingerprint
+// annotation; it is attached to the type name so canonicalizers in
+// importing packages know the type is under contract.
+type FingerprintFact struct {
+	V1 []string // the frozen v1 field set, sorted
+}
+
+func (*FingerprintFact) AFact() {}
+
+func (f *FingerprintFact) String() string {
+	return "fingerprint(v1=" + strings.Join(f.V1, ",") + ")"
+}
+
+const (
+	// FingerprintPrefix starts the struct annotation:
+	//
+	//	//detlint:fingerprint v1=<Field,Field,...>
+	FingerprintPrefix = "//detlint:fingerprint"
+	// ExecShapePrefix starts the zeroing justification:
+	//
+	//	//detlint:execshape <why this knob cannot change results>
+	//
+	// It covers its own line and the next, like //detlint:ignore.
+	ExecShapePrefix = "//detlint:execshape"
+)
+
+// directiveBody returns the comment body after prefix with any embedded
+// "//" (an ordinary trailing comment, used by fixtures for // want
+// expectations) stripped. ok is false when c does not carry the prefix.
+func directiveBody(c *ast.Comment, prefix string) (body string, ok bool) {
+	rest, found := strings.CutPrefix(c.Text, prefix)
+	if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.TrimSpace(rest), true
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	rep := detlint.NewReporter(pass)
+	shape := collectExecShape(pass, rep)
+	local := collectFingerprints(pass, rep, shape)
+	checkCanonicalizers(pass, rep, shape, local)
+	return nil, nil
+}
+
+// execShape maps filename -> line -> true for lines covered by a reasoned
+// //detlint:execshape directive (its own line and the next).
+type execShape map[string]map[int]bool
+
+func (s execShape) covers(fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	return s[p.Filename][p.Line]
+}
+
+// collectExecShape scans every comment for execshape directives, reporting
+// unreasoned ones (which justify nothing).
+func collectExecShape(pass *analysis.Pass, rep *detlint.Reporter) execShape {
+	shape := make(execShape)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body, ok := directiveBody(c, ExecShapePrefix)
+				if !ok {
+					continue
+				}
+				if body == "" {
+					rep.Reportf(c.Pos(), "detlint:execshape directive has no reason; say why the knob shapes execution but never results (an unreasoned execshape justifies nothing)")
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				lines := shape[p.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					shape[p.Filename] = lines
+				}
+				lines[p.Line] = true
+				lines[p.Line+1] = true
+			}
+		}
+	}
+	return shape
+}
+
+// collectFingerprints finds //detlint:fingerprint annotations on struct
+// type declarations, checks the declaration-side contract, and exports a
+// FingerprintFact per annotated type. It returns the annotated type names
+// declared in this package.
+func collectFingerprints(pass *analysis.Pass, rep *detlint.Reporter, shape execShape) map[*types.TypeName]bool {
+	local := make(map[*types.TypeName]bool)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.GenDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.GenDecl)
+		if decl.Tok != token.TYPE {
+			return
+		}
+		for _, spec := range decl.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			dir, v1 := fingerprintDirective(decl.Doc, ts.Doc)
+			if dir == nil {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				rep.Reportf(dir.Pos(), "detlint:fingerprint annotates %s, which is not a struct type", ts.Name.Name)
+				continue
+			}
+			tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				continue
+			}
+			if v1 == nil {
+				rep.Reportf(dir.Pos(), "detlint:fingerprint directive must freeze the v1 field set: //detlint:fingerprint v1=Field,Field,...")
+				continue
+			}
+			checkFingerprintedStruct(pass, rep, shape, dir, ts.Name.Name, st, v1)
+			names := make([]string, 0, len(v1))
+			for name := range v1 {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			pass.ExportObjectFact(tn, &FingerprintFact{V1: names})
+			local[tn] = true
+		}
+	})
+	return local
+}
+
+// fingerprintDirective finds a fingerprint annotation in the declaration's
+// doc comments and parses its v1 set (nil when malformed).
+func fingerprintDirective(docs ...*ast.CommentGroup) (*ast.Comment, map[string]bool) {
+	for _, doc := range docs {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			body, ok := directiveBody(c, FingerprintPrefix)
+			if !ok {
+				continue
+			}
+			list, found := strings.CutPrefix(body, "v1=")
+			if !found {
+				return c, nil
+			}
+			v1 := make(map[string]bool)
+			for _, name := range strings.Split(list, ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					v1[name] = true
+				}
+			}
+			if len(v1) == 0 {
+				return c, nil
+			}
+			return c, v1
+		}
+	}
+	return nil, nil
+}
+
+// checkFingerprintedStruct enforces the declaration-side contract on one
+// annotated struct.
+func checkFingerprintedStruct(pass *analysis.Pass, rep *detlint.Reporter, shape execShape, dir *ast.Comment, typeName string, st *ast.StructType, v1 map[string]bool) {
+	fields := make(map[string]bool)
+	for _, field := range st.Fields.List {
+		tag := fieldTag(field)
+		for _, name := range fieldNames(field) {
+			fields[name.Name] = true
+			switch {
+			case !name.IsExported():
+				rep.Reportf(name.Pos(), "unexported field %s of fingerprinted struct %s never reaches the canonical JSON encoding; a knob hidden here merges incompatible shards silently", name.Name, typeName)
+			case jsonName(tag, name.Name) == "-":
+				if !shape.covers(pass.Fset, name.Pos()) {
+					rep.Reportf(name.Pos(), "field %s of fingerprinted struct %s is excluded from the canonical encoding via json:\"-\" without a reasoned //detlint:execshape directive", name.Name, typeName)
+				}
+			case v1[name.Name]:
+				if hasOmitEmpty(tag) {
+					rep.Reportf(name.Pos(), "v1 field %s of fingerprinted struct %s must not carry omitempty; dropping a zero v1 field would change the canonical bytes of existing artifacts", name.Name, typeName)
+				}
+			default:
+				if !hasOmitEmpty(tag) {
+					rep.Reportf(name.Pos(), "post-v1 field %s of fingerprinted struct %s must carry json:\",omitempty\" so artifacts encoded before the field existed keep their canonical bytes", name.Name, typeName)
+				}
+			}
+		}
+	}
+	for _, name := range sortedKeys(v1) {
+		if !fields[name] {
+			rep.Reportf(dir.Pos(), "detlint:fingerprint v1 set names %s, which is not a field of %s", name, typeName)
+		}
+	}
+}
+
+// fieldNames returns the declared names of a struct field (the embedded
+// type name for anonymous fields).
+func fieldNames(field *ast.Field) []*ast.Ident {
+	if len(field.Names) > 0 {
+		return field.Names
+	}
+	// Embedded field: name is the (possibly qualified) type name.
+	expr := field.Type
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return []*ast.Ident{t}
+	case *ast.SelectorExpr:
+		return []*ast.Ident{t.Sel}
+	}
+	return nil
+}
+
+func fieldTag(field *ast.Field) string {
+	if field.Tag == nil {
+		return ""
+	}
+	raw := field.Tag.Value
+	return reflect.StructTag(strings.Trim(raw, "`")).Get("json")
+}
+
+// jsonName returns the encoded name from a json tag ("" keeps the field
+// name, "-" drops the field).
+func jsonName(tag, fieldName string) string {
+	name, _, _ := strings.Cut(tag, ",")
+	if name == "" {
+		return fieldName
+	}
+	return name
+}
+
+func hasOmitEmpty(tag string) bool {
+	_, opts, _ := strings.Cut(tag, ",")
+	for _, opt := range strings.Split(opts, ",") {
+		if opt == "omitempty" {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(set map[string]bool) []string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// canonTarget is one variable a function both field-assigns and marshals.
+type canonTarget struct {
+	obj      *types.Var
+	tn       *types.TypeName
+	marshal  token.Pos      // the json.Marshal call site
+	zeros    []*fieldAssign // zero-literal field assignments
+	rewrites []*fieldAssign // non-zero field assignments
+}
+
+type fieldAssign struct {
+	pos   token.Pos
+	field string
+}
+
+// checkCanonicalizers scans every function for the canonicalizer shape —
+// zero a field, then json.Marshal the value — and enforces the execshape
+// contract on it.
+func checkCanonicalizers(pass *analysis.Pass, rep *detlint.Reporter, shape execShape, local map[*types.TypeName]bool) {
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		if fn.Body == nil {
+			return
+		}
+		targets := make(map[*types.Var]*canonTarget)
+		ast.Inspect(fn.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				if !isJSONMarshal(pass.TypesInfo, m) || len(m.Args) == 0 {
+					return true
+				}
+				obj, tn := marshaledVar(pass.TypesInfo, m.Args[0])
+				if obj == nil {
+					return true
+				}
+				if t := targets[obj]; t != nil {
+					if t.marshal == token.NoPos {
+						t.marshal = m.Pos()
+					}
+				} else {
+					targets[obj] = &canonTarget{obj: obj, tn: tn, marshal: m.Pos()}
+				}
+			case *ast.AssignStmt:
+				if m.Tok != token.ASSIGN {
+					return true
+				}
+				for i, lhs := range m.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					base, ok := sel.X.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj, ok := pass.TypesInfo.Uses[base].(*types.Var)
+					if !ok {
+						continue
+					}
+					fa := &fieldAssign{pos: lhs.Pos(), field: sel.Sel.Name}
+					t := targets[obj]
+					if t == nil {
+						tn := namedStructName(obj.Type())
+						if tn == nil {
+							continue
+						}
+						t = &canonTarget{obj: obj, tn: tn}
+						targets[obj] = t
+					}
+					if i < len(m.Rhs) && isZeroExpr(pass.TypesInfo, m.Rhs[i]) {
+						t.zeros = append(t.zeros, fa)
+					} else if len(m.Lhs) == len(m.Rhs) {
+						t.rewrites = append(t.rewrites, fa)
+					}
+				}
+			}
+			return true
+		})
+		for _, t := range targets {
+			// The canonicalizer shape requires both a marshal of the value
+			// and at least one zeroed field; anything less is ordinary code
+			// building a value.
+			if t.marshal == token.NoPos || len(t.zeros) == 0 {
+				continue
+			}
+			var fact FingerprintFact
+			fingerprinted := t.tn != nil && (local[t.tn] || pass.ImportObjectFact(t.tn, &fact))
+			if !fingerprinted {
+				name := "value"
+				if t.tn != nil {
+					name = t.tn.Name()
+				}
+				rep.Reportf(t.marshal, "%s is canonicalized here (fields zeroed before json.Marshal) but its type carries no //detlint:fingerprint annotation; annotate the struct so field additions stay checked", name)
+				continue
+			}
+			for _, z := range t.zeros {
+				if !shape.covers(pass.Fset, z.pos) {
+					rep.Reportf(z.pos, "field %s is zeroed out of the canonical %s fingerprint without a reasoned //detlint:execshape directive; an unexplained exclusion either fractures shard merges or silently merges incompatible shards", z.field, t.tn.Name())
+				}
+			}
+			for _, rw := range t.rewrites {
+				rep.Reportf(rw.pos, "canonicalizer rewrites field %s of %s to a non-zero value; canonical fingerprints may only zero exec-shape knobs under //detlint:execshape", rw.field, t.tn.Name())
+			}
+		}
+	})
+}
+
+// isJSONMarshal reports whether call is encoding/json.Marshal or
+// MarshalIndent.
+func isJSONMarshal(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "encoding/json" {
+		return false
+	}
+	return sel.Sel.Name == "Marshal" || sel.Sel.Name == "MarshalIndent"
+}
+
+// marshaledVar resolves the marshaled expression (an identifier, possibly
+// addressed or dereferenced) to a variable of named struct type.
+func marshaledVar(info *types.Info, arg ast.Expr) (*types.Var, *types.TypeName) {
+	switch a := arg.(type) {
+	case *ast.UnaryExpr:
+		if a.Op == token.AND {
+			arg = a.X
+		}
+	case *ast.StarExpr:
+		arg = a.X
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	tn := namedStructName(obj.Type())
+	if tn == nil {
+		return nil, nil
+	}
+	return obj, tn
+}
+
+// namedStructName unwraps pointers and aliases to the type name of a named
+// struct type, or nil.
+func namedStructName(t types.Type) *types.TypeName {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// isZeroExpr reports whether e is a zero literal: 0, "", false, nil, or an
+// empty composite literal.
+func isZeroExpr(info *types.Info, e ast.Expr) bool {
+	if id, ok := e.(*ast.Ident); ok {
+		if _, isNil := info.Uses[id].(*types.Nil); isNil {
+			return true
+		}
+	}
+	if cl, ok := e.(*ast.CompositeLit); ok {
+		return len(cl.Elts) == 0
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Bool:
+		return !constant.BoolVal(tv.Value)
+	case constant.String:
+		return constant.StringVal(tv.Value) == ""
+	case constant.Int, constant.Float, constant.Complex:
+		v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+		return v == 0
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package optfinger_test
+
+import (
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/analysistest"
+	"github.com/dramstudy/rhvpp/internal/analysis/optfinger"
+)
+
+func TestOptFinger(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), optfinger.Analyzer, "a", "clean", "canon", "ignore")
+}

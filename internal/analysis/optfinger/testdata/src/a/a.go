@@ -1,0 +1,63 @@
+// Package a exercises the flagged cases of the fingerprint contract.
+package a
+
+import "encoding/json"
+
+// Opts is the fingerprinted options struct with declaration-side bugs.
+//
+//detlint:fingerprint v1=Seed,Rows,Missing // want `v1 set names Missing, which is not a field of Opts`
+type Opts struct {
+	Seed    int     `json:"seed"`
+	Rows    int     `json:"rows,omitempty"` // want `v1 field Rows of fingerprinted struct Opts must not carry omitempty`
+	hidden  int     // want `unexported field hidden of fingerprinted struct Opts never reaches the canonical JSON encoding`
+	Extra   float64 `json:"extra"` // want `post-v1 field Extra of fingerprinted struct Opts must carry json:",omitempty"`
+	Scratch []byte  `json:"-"`     // want `field Scratch of fingerprinted struct Opts is excluded from the canonical encoding via json:"-" without a reasoned`
+	Good    bool    `json:"good,omitempty"`
+}
+
+// Malformed lacks the v1= field set.
+//
+//detlint:fingerprint // want `directive must freeze the v1 field set`
+type Malformed struct {
+	N int `json:"n"`
+}
+
+// NotStruct cannot carry a fingerprint.
+//
+//detlint:fingerprint v1=X // want `annotates NotStruct, which is not a struct type`
+type NotStruct int
+
+// Canon zeroes a field before marshaling without justification.
+func Canon(o Opts) []byte {
+	o.Seed = 0 // want `field Seed is zeroed out of the canonical Opts fingerprint without a reasoned`
+	b, _ := json.Marshal(o)
+	return b
+}
+
+// CanonRewrite rewrites a field to a non-zero value inside a canonicalizer.
+func CanonRewrite(o Opts) []byte {
+	o.Seed = 0 //detlint:execshape seed is replayed per shard from the unit encoding
+	o.Rows = 7 // want `canonicalizer rewrites field Rows of Opts to a non-zero value`
+	b, _ := json.Marshal(&o)
+	return b
+}
+
+// CanonUnreasoned carries an execshape directive with no reason: the
+// directive is reported and the zeroing stays flagged.
+func CanonUnreasoned(o Opts) []byte {
+	o.Seed = 0 //detlint:execshape // want `execshape directive has no reason` `field Seed is zeroed out of the canonical`
+	b, _ := json.Marshal(o)
+	return b
+}
+
+// Plain is canonicalized but never annotated.
+type Plain struct {
+	N int `json:"n"`
+}
+
+// CanonPlain flags the missing annotation at the marshal site.
+func CanonPlain(p Plain) []byte {
+	p.N = 0
+	b, _ := json.Marshal(p) // want `Plain is canonicalized here \(fields zeroed before json.Marshal\) but its type carries no`
+	return b
+}

@@ -1,0 +1,25 @@
+// Package canon canonicalizes a struct fingerprinted in another package:
+// the FingerprintFact must flow across the import for the diagnostic to
+// name the fingerprint (rather than complaining about a missing
+// annotation).
+package canon
+
+import (
+	"encoding/json"
+
+	"dep"
+)
+
+// Canonical zeroes an imported struct's field without justification.
+func Canonical(o dep.Opts) []byte {
+	o.Width = 0 // want `field Width is zeroed out of the canonical Opts fingerprint without a reasoned`
+	b, _ := json.Marshal(o)
+	return b
+}
+
+// Justified is the fixed form.
+func Justified(o dep.Opts) []byte {
+	o.Width = 0 //detlint:execshape batch width shapes lane packing, lanes replay the scalar op sequence
+	b, _ := json.Marshal(o)
+	return b
+}

@@ -1,0 +1,48 @@
+// Package clean holds fingerprint-contract code with no violations; any
+// diagnostic here is a false positive.
+package clean
+
+import "encoding/json"
+
+// Opts follows the contract: v1 fields keep plain tags, post-v1 fields are
+// omitempty, and the derived cache justifies its exclusion.
+//
+//detlint:fingerprint v1=Seed,Rows
+type Opts struct {
+	Seed    int     `json:"seed"`
+	Rows    int     `json:"rows"`
+	Extra   float64 `json:"extra,omitempty"`
+	Scratch []byte  `json:"-"` //detlint:execshape derived cache, rebuilt deterministically per shard
+	Good    bool    `json:"good,omitempty"`
+}
+
+// Canon justifies every zeroing, in both directive forms.
+func Canon(o Opts) []byte {
+	o.Extra = 0 //detlint:execshape tolerance override shapes step count, results are pinned by the reference
+	//detlint:execshape flag toggles a log line only, never the numbers
+	o.Good = false
+	b, _ := json.Marshal(o)
+	return b
+}
+
+// Build assigns non-zero values and marshals; without a zeroing it is an
+// ordinary constructor, not a canonicalizer.
+func Build() []byte {
+	var o Opts
+	o.Seed = 42
+	o.Rows = 8
+	b, _ := json.Marshal(o)
+	return b
+}
+
+// Encode marshals without touching fields at all.
+func Encode(o Opts) []byte {
+	b, _ := json.Marshal(o)
+	return b
+}
+
+// ZeroNoMarshal zeroes a field but never marshals the value here.
+func ZeroNoMarshal(o Opts) Opts {
+	o.Extra = 0
+	return o
+}

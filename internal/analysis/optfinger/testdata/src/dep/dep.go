@@ -1,0 +1,11 @@
+// Package dep declares a fingerprinted struct consumed by the canon
+// fixture; it is itself clean and contributes only the exported fact.
+package dep
+
+// Opts is the shared options struct.
+//
+//detlint:fingerprint v1=Seed
+type Opts struct {
+	Seed  int `json:"seed"`
+	Width int `json:"width,omitempty"`
+}

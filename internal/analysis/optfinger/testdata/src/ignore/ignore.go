@@ -1,0 +1,44 @@
+// Package ignore exercises //detlint:ignore interplay for optfinger: a
+// reasoned directive suppresses, an unreasoned one is itself reported and
+// suppresses nothing, and directives naming other analyzers do not leak.
+package ignore
+
+import "encoding/json"
+
+// Opts is fingerprinted and clean at the declaration.
+//
+//detlint:fingerprint v1=Seed
+type Opts struct {
+	Seed int `json:"seed"`
+	Jobs int `json:"jobs,omitempty"`
+}
+
+// SuppressedTrailing uses the trailing-comment form with a reason.
+func SuppressedTrailing(o Opts) []byte {
+	o.Jobs = 0 //detlint:ignore optfinger jobs zeroing is exercised by the execshape migration test
+	b, _ := json.Marshal(o)
+	return b
+}
+
+// SuppressedOwnLine uses the own-line form covering the next line.
+func SuppressedOwnLine(o Opts) []byte {
+	//detlint:ignore optfinger jobs zeroing is exercised by the execshape migration test
+	o.Jobs = 0
+	b, _ := json.Marshal(o)
+	return b
+}
+
+// Unreasoned: the directive itself is reported and does not suppress.
+func Unreasoned(o Opts) []byte {
+	o.Jobs = 0 //detlint:ignore optfinger // want `directive has no reason` `field Jobs is zeroed out of the canonical`
+	b, _ := json.Marshal(o)
+	return b
+}
+
+// WrongAnalyzer: a directive naming another analyzer does not suppress
+// this one.
+func WrongAnalyzer(o Opts) []byte {
+	o.Jobs = 0 //detlint:ignore maporder wrong analyzer name // want `field Jobs is zeroed out of the canonical`
+	b, _ := json.Marshal(o)
+	return b
+}

@@ -1,0 +1,457 @@
+// Package plancover defines an analyzer proving Plan/Run/Assemble parity
+// across the study catalog (docs/CONTRACTS.md, "Plan parity").
+//
+// A sharded campaign works only if every study the catalog exports makes
+// it through the whole protocol: ShardableStudies lists it, PlanStudy
+// partitions it into work units, RunUnits (or a same-package callee)
+// dispatches it, and an Assemble* function folds its partials back —
+// decoding the same partial type the run path produced. A study missing
+// any leg fails at campaign time, on a fleet, after the cheap studies
+// already ran; a consumer decoding a different type than the runner
+// encoded fails later still, at merge. The matrix and 2-D-sweep roadmap
+// items multiply the catalog, so the protocol is machine-checked here.
+//
+// In the package defining the catalog (a ShardableStudies function
+// returning a composite literal of named string constants), the analyzer
+// checks each leg per study, and verifies that the type argument of a
+// generic decode call in each Assemble* function (decodePartials[T])
+// matches a partial type the study's run path can produce. The planner's
+// own switch is excluded from the run-dispatch search: PlanStudy
+// enumerating a study does not execute it.
+//
+// The catalog is exported as a package-level CatalogFact. In importing
+// packages, any switch dispatching on two or more catalog study names
+// must handle the entire catalog — the guard on merge/dispatch switches
+// like the root package's MergeArtifacts, where a missing case silently
+// drops a study (or lands in a default) when the catalog grows.
+package plancover
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/detlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "plancover",
+	Doc: "proves Plan/Run/Assemble coverage and partial-type parity for every catalog study, " +
+		"and that importing packages' dispatch switches handle the whole catalog",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*CatalogFact)(nil)},
+	Run:       run,
+}
+
+// CatalogFact carries a package's study catalog to its importers.
+type CatalogFact struct {
+	Studies []string // catalog order
+}
+
+func (*CatalogFact) AFact() {}
+
+func (f *CatalogFact) String() string {
+	return "catalog(" + strings.Join(f.Studies, ",") + ")"
+}
+
+// catalogEntry is one study with the position of its catalog listing,
+// where missing-leg diagnostics anchor.
+type catalogEntry struct {
+	name string
+	pos  ast.Expr
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	rep := detlint.NewReporter(pass)
+	decls := packageFuncs(pass)
+	entries := findCatalog(pass, decls["ShardableStudies"])
+	if len(entries) > 0 {
+		fact := &CatalogFact{Studies: make([]string, len(entries))}
+		for i, e := range entries {
+			fact.Studies[i] = e.name
+		}
+		pass.ExportPackageFact(fact)
+		checkProtocol(pass, rep, decls, entries)
+		return nil, nil
+	}
+	checkDispatch(pass, rep)
+	return nil, nil
+}
+
+// packageFuncs indexes the package's function declarations by name
+// (methods are not part of the shard protocol).
+func packageFuncs(pass *analysis.Pass) map[string]*ast.FuncDecl {
+	decls := make(map[string]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Recv == nil && fn.Body != nil {
+				decls[fn.Name.Name] = fn
+			}
+		}
+	}
+	return decls
+}
+
+// findCatalog extracts the study catalog from ShardableStudies: the first
+// returned composite literal whose elements are named string constants.
+// Wrappers that re-slice another package's catalog (the root package's
+// typed ShardableStudies) yield nothing and are not catalogs themselves.
+func findCatalog(pass *analysis.Pass, fn *ast.FuncDecl) []catalogEntry {
+	if fn == nil {
+		return nil
+	}
+	var entries []catalogEntry
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if entries != nil {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		cl, ok := ret.Results[0].(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, e := range cl.Elts {
+			if s, ok := constString(pass.TypesInfo, e); ok {
+				entries = append(entries, catalogEntry{name: s, pos: e})
+			}
+		}
+		return true
+	})
+	return entries
+}
+
+// constString returns e's compile-time string value.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// checkProtocol enforces the four legs in the catalog-defining package.
+func checkProtocol(pass *analysis.Pass, rep *detlint.Reporter, decls map[string]*ast.FuncDecl, entries []catalogEntry) {
+	catalog := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		catalog[e.name] = true
+	}
+
+	planFn, runFn := decls["PlanStudy"], decls["RunUnits"]
+	var planned map[string][]ast.Node
+	if planFn != nil {
+		planned = guardedScopes(pass, planFn, catalog)
+	}
+	produced := runProduced(pass, decls, runFn, catalog)
+	assembled := assembleConsumers(pass, rep, decls, catalog, produced)
+
+	for _, e := range entries {
+		switch {
+		case planFn == nil:
+			rep.Reportf(e.pos.Pos(), "catalog study %q has no PlanStudy planner in this package; it cannot be planned into work units", e.name)
+		case planned[e.name] == nil:
+			rep.Reportf(e.pos.Pos(), "catalog study %q has no PlanStudy case; it cannot be planned into work units", e.name)
+		}
+		switch {
+		case runFn == nil:
+			rep.Reportf(e.pos.Pos(), "catalog study %q has no RunUnits executor in this package; planned units of this study cannot execute", e.name)
+		case produced[e.name] == nil:
+			rep.Reportf(e.pos.Pos(), "catalog study %q is never dispatched by RunUnits or its same-package callees; planned units of this study cannot execute", e.name)
+		}
+		if !assembled[e.name] {
+			rep.Reportf(e.pos.Pos(), "catalog study %q has no Assemble* consumer; its shard partials cannot fold back into a campaign", e.name)
+		}
+	}
+}
+
+// guardedScopes returns, per catalog study, the statement scopes guarded
+// by that study's name in fn: switch-case bodies whose case expressions
+// carry the study's value, and if-bodies whose condition mentions it.
+func guardedScopes(pass *analysis.Pass, fn *ast.FuncDecl, catalog map[string]bool) map[string][]ast.Node {
+	scopes := make(map[string][]ast.Node)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SwitchStmt:
+			for _, stmt := range n.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if s, ok := constString(pass.TypesInfo, e); ok && catalog[s] {
+						for _, body := range cc.Body {
+							scopes[s] = append(scopes[s], body)
+						}
+					}
+				}
+			}
+		case *ast.IfStmt:
+			ast.Inspect(n.Cond, func(c ast.Node) bool {
+				e, ok := c.(ast.Expr)
+				if !ok {
+					return true
+				}
+				if s, ok := constString(pass.TypesInfo, e); ok && catalog[s] {
+					scopes[s] = append(scopes[s], n.Body)
+					return false
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return scopes
+}
+
+// runProduced walks RunUnits plus its transitive same-package callees —
+// excluding the PlanStudy planner, whose switch enumerates studies without
+// executing them — and collects, per study, the types its guarded scopes
+// can produce (call results, returned values, composite literals; slice
+// element types included).
+func runProduced(pass *analysis.Pass, decls map[string]*ast.FuncDecl, runFn *ast.FuncDecl, catalog map[string]bool) map[string][]types.Type {
+	if runFn == nil {
+		return nil
+	}
+	produced := make(map[string][]types.Type)
+	visited := map[*ast.FuncDecl]bool{runFn: true}
+	work := []*ast.FuncDecl{runFn}
+	for len(work) > 0 {
+		fn := work[0]
+		work = work[1:]
+		guarded := guardedScopes(pass, fn, catalog)
+		studies := make([]string, 0, len(guarded))
+		for s := range guarded {
+			studies = append(studies, s)
+		}
+		sort.Strings(studies)
+		for _, s := range studies {
+			for _, scope := range guarded[s] {
+				produced[s] = append(produced[s], scopeTypes(pass, scope)...)
+			}
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || callee.Pkg() != pass.Pkg || callee.Name() == "PlanStudy" {
+				return true
+			}
+			if next := decls[callee.Name()]; next != nil && !visited[next] {
+				visited[next] = true
+				work = append(work, next)
+			}
+			return true
+		})
+	}
+	return produced
+}
+
+// scopeTypes collects the partial-result candidate types a guarded scope
+// can produce.
+func scopeTypes(pass *analysis.Pass, scope ast.Node) []types.Type {
+	var out []types.Type
+	add := func(t types.Type) {
+		if t == nil {
+			return
+		}
+		if tup, ok := t.(*types.Tuple); ok {
+			for i := 0; i < tup.Len(); i++ {
+				out = appendCandidate(out, tup.At(i).Type())
+			}
+			return
+		}
+		out = appendCandidate(out, t)
+	}
+	ast.Inspect(scope, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			add(pass.TypesInfo.TypeOf(n))
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				add(pass.TypesInfo.TypeOf(e))
+			}
+		case *ast.CompositeLit:
+			add(pass.TypesInfo.TypeOf(n))
+		}
+		return true
+	})
+	return out
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// appendCandidate records t (and a slice's element type) unless it is
+// error, untyped, or invalid.
+func appendCandidate(out []types.Type, t types.Type) []types.Type {
+	if t == nil || types.Identical(t, errorType) {
+		return out
+	}
+	if b, ok := types.Unalias(t).(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+		return out
+	}
+	out = append(out, t)
+	if sl, ok := types.Unalias(t).Underlying().(*types.Slice); ok {
+		out = append(out, sl.Elem())
+	}
+	return out
+}
+
+// assembleConsumers finds Assemble* functions, marks the catalog studies
+// they reference as assembled, and checks the generic decode call's type
+// argument against the study's producible types.
+func assembleConsumers(pass *analysis.Pass, rep *detlint.Reporter, decls map[string]*ast.FuncDecl, catalog map[string]bool, produced map[string][]types.Type) map[string]bool {
+	assembled := make(map[string]bool)
+	names := make([]string, 0, len(decls))
+	for name := range decls {
+		if strings.HasPrefix(name, "Assemble") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fn := decls[name]
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				if s, ok := constString(pass.TypesInfo, e); ok && catalog[s] {
+					assembled[s] = true
+				}
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			study := ""
+			for _, arg := range call.Args {
+				if s, ok := constString(pass.TypesInfo, arg); ok && catalog[s] {
+					study = s
+					break
+				}
+			}
+			if study == "" {
+				return true
+			}
+			typeArg := instanceTypeArg(pass.TypesInfo, call)
+			if typeArg == nil {
+				return true
+			}
+			if cands := produced[study]; len(cands) > 0 && !containsIdentical(cands, typeArg) {
+				rep.Reportf(fn.Name.Pos(), "%s decodes %s for study %q, but the run path for that study produces %s; the shard partial round-trip cannot line up",
+					name, typeArg, study, typeList(cands))
+			}
+			return true
+		})
+	}
+	return assembled
+}
+
+// instanceTypeArg returns the first type argument of a call to an
+// instantiated generic function, or nil.
+func instanceTypeArg(info *types.Info, call *ast.CallExpr) types.Type {
+	fun := call.Fun
+	if ix, ok := fun.(*ast.IndexExpr); ok {
+		fun = ix.X
+	}
+	if ix, ok := fun.(*ast.IndexListExpr); ok {
+		fun = ix.X
+	}
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		if sel, okSel := fun.(*ast.SelectorExpr); okSel {
+			id = sel.Sel
+		} else {
+			return nil
+		}
+	}
+	inst, ok := info.Instances[id]
+	if !ok || inst.TypeArgs == nil || inst.TypeArgs.Len() == 0 {
+		return nil
+	}
+	return inst.TypeArgs.At(0)
+}
+
+func containsIdentical(ts []types.Type, t types.Type) bool {
+	for _, c := range ts {
+		if types.Identical(c, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeList renders candidate types deduplicated, in stable order.
+func typeList(ts []types.Type) string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, t := range ts {
+		s := t.String()
+		if !seen[s] {
+			seen[s] = true
+			names = append(names, s)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, " | ")
+}
+
+// checkDispatch enforces catalog completeness on dispatch switches in
+// packages importing a catalog: a switch handling two or more studies of
+// one imported catalog must handle them all.
+func checkDispatch(pass *analysis.Pass, rep *detlint.Reporter) {
+	type imported struct {
+		path    string
+		studies []string
+	}
+	var catalogs []imported
+	imports := append([]*types.Package(nil), pass.Pkg.Imports()...)
+	sort.Slice(imports, func(i, j int) bool { return imports[i].Path() < imports[j].Path() })
+	for _, imp := range imports {
+		var fact CatalogFact
+		if pass.ImportPackageFact(imp, &fact) {
+			catalogs = append(catalogs, imported{path: imp.Path(), studies: fact.Studies})
+		}
+	}
+	if len(catalogs) == 0 {
+		return
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.SwitchStmt)(nil)}, func(n ast.Node) {
+		sw := n.(*ast.SwitchStmt)
+		handled := make(map[string]bool)
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				if s, ok := constString(pass.TypesInfo, e); ok {
+					handled[s] = true
+				}
+			}
+		}
+		for _, cat := range catalogs {
+			matched, missing := 0, []string(nil)
+			for _, s := range cat.studies {
+				if handled[s] {
+					matched++
+				} else {
+					missing = append(missing, fmt.Sprintf("%q", s))
+				}
+			}
+			if matched >= 2 && len(missing) > 0 {
+				rep.Reportf(sw.Pos(), "dispatch switch handles %d of %d studies from the %s catalog; missing: %s — planned units of a missing study are silently dropped at dispatch",
+					matched, len(cat.studies), cat.path, strings.Join(missing, ", "))
+			}
+		}
+	})
+}

@@ -1,0 +1,12 @@
+package plancover_test
+
+import (
+	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/analysis/analysistest"
+	"github.com/dramstudy/rhvpp/internal/analysis/plancover"
+)
+
+func TestPlanCover(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), plancover.Analyzer, "cat", "clean", "depcat", "dispatch", "ignore")
+}

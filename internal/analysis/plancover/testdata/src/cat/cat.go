@@ -1,0 +1,73 @@
+// Package cat exercises the flagged protocol cases in a catalog-defining
+// package: a study missing its planner case, one never dispatched, one
+// never assembled, and one whose consumer decodes the wrong partial type.
+package cat
+
+const (
+	StudyA = "a"
+	StudyB = "b"
+	StudyC = "c"
+	StudyD = "d"
+	StudyE = "e"
+)
+
+// ShardableStudies is the catalog; missing-leg diagnostics anchor on the
+// entries.
+func ShardableStudies() []string {
+	return []string{
+		StudyA,
+		StudyB, // want `catalog study "b" has no PlanStudy case`
+		StudyC, // want `catalog study "c" is never dispatched by RunUnits`
+		StudyD,
+		StudyE, // want `catalog study "e" has no Assemble\* consumer`
+	}
+}
+
+// PlanStudy forgets StudyB.
+func PlanStudy(study string) ([]string, error) {
+	switch study {
+	case StudyA, StudyC, StudyD, StudyE:
+		return []string{study + "/0"}, nil
+	}
+	return nil, nil
+}
+
+type PartA struct{ N int }
+
+type PartD struct{ N int }
+
+type PartWrong struct{ N int }
+
+// RunUnits forgets StudyC; StudyE rides the if-guard form.
+func RunUnits(study string, keys []string) ([][]byte, error) {
+	switch study {
+	case StudyA:
+		return encode(runA())
+	case StudyB:
+		return encode(runB())
+	case StudyD:
+		return encode(runD())
+	}
+	if study == StudyE {
+		return encode(runE())
+	}
+	return nil, nil
+}
+
+func runA() PartA { return PartA{} }
+func runB() PartA { return PartA{} }
+func runD() PartD { return PartD{} }
+func runE() PartD { return PartD{} }
+
+func encode(v any) ([][]byte, error) { return nil, nil }
+
+func decode[T any](study string, raw [][]byte) ([]T, error) { return nil, nil }
+
+func AssembleA(raw [][]byte) ([]PartA, error) { return decode[PartA](StudyA, raw) }
+func AssembleB(raw [][]byte) ([]PartA, error) { return decode[PartA](StudyB, raw) }
+func AssembleC(raw [][]byte) ([]PartA, error) { return decode[PartA](StudyC, raw) }
+
+// AssembleD decodes a type the run path never produces.
+func AssembleD(raw [][]byte) ([]PartWrong, error) { // want `AssembleD decodes cat\.PartWrong for study "d", but the run path`
+	return decode[PartWrong](StudyD, raw)
+}

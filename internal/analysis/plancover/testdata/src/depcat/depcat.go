@@ -1,0 +1,41 @@
+// Package depcat defines a clean three-study catalog consumed by the
+// dispatch fixture; it contributes the exported CatalogFact.
+package depcat
+
+const (
+	X = "x"
+	Y = "y"
+	Z = "z"
+)
+
+func ShardableStudies() []string { return []string{X, Y, Z} }
+
+func PlanStudy(study string) ([]string, error) {
+	switch study {
+	case X, Y, Z:
+		return []string{study}, nil
+	}
+	return nil, nil
+}
+
+type Part struct{ N int }
+
+func RunUnits(study string, keys []string) ([]Part, error) {
+	switch study {
+	case X, Y, Z:
+		return []Part{{}}, nil
+	}
+	return nil, nil
+}
+
+func decode[T any](study string, raw []byte) ([]T, error) { return nil, nil }
+
+func AssembleAll(raw []byte) ([]Part, error) {
+	if _, err := decode[Part](X, raw); err != nil {
+		return nil, err
+	}
+	if _, err := decode[Part](Y, raw); err != nil {
+		return nil, err
+	}
+	return decode[Part](Z, raw)
+}

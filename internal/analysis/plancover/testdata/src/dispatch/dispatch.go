@@ -1,0 +1,37 @@
+// Package dispatch imports a catalog and exercises the dispatch-switch
+// completeness check: a switch handling two or more catalog studies must
+// handle the whole catalog.
+package dispatch
+
+import "depcat"
+
+// MergeAll forgets depcat.Z; planned units of "z" would fall through.
+func MergeAll(study string) (string, error) {
+	switch study { // want `dispatch switch handles 2 of 3 studies from the depcat catalog; missing: "z"`
+	case depcat.X:
+		return "x", nil
+	case depcat.Y:
+		return "y", nil
+	}
+	return "", nil
+}
+
+// Complete handles the whole catalog.
+func Complete(study string) string {
+	switch study {
+	case depcat.X, depcat.Y, depcat.Z:
+		return study
+	default:
+		return ""
+	}
+}
+
+// SingleUse mentions one study for an unrelated purpose; below the
+// two-study threshold it is not a dispatch switch.
+func SingleUse(study string) bool {
+	switch study {
+	case depcat.X:
+		return true
+	}
+	return false
+}

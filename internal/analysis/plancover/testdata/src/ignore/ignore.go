@@ -1,0 +1,57 @@
+// Package ignore exercises //detlint:ignore interplay for plancover: a
+// reasoned directive suppresses, an unreasoned one is itself reported and
+// suppresses nothing, and directives naming other analyzers do not leak.
+// Every study here is dispatched and assembled, so each flagged line
+// carries exactly the missing-planner diagnostic.
+package ignore
+
+const (
+	G1 = "g1"
+	G2 = "g2"
+	G3 = "g3"
+	G4 = "g4"
+)
+
+func ShardableStudies() []string {
+	return []string{
+		G2, //detlint:ignore plancover // want `directive has no reason` `catalog study "g2" has no PlanStudy case`
+		G3, //detlint:ignore maporder wrong analyzer name // want `catalog study "g3" has no PlanStudy case`
+		G4,
+		// The reasoned directive sits last: a directive also covers the
+		// following line, which must not swallow another entry's report.
+		G1, //detlint:ignore plancover planner case lands with the catalog growth in the next PR
+	}
+}
+
+func PlanStudy(study string) ([]string, error) {
+	switch study {
+	case G4:
+		return []string{study}, nil
+	}
+	return nil, nil
+}
+
+type Part struct{ N int }
+
+func RunUnits(study string, keys []string) ([]Part, error) {
+	switch study {
+	case G1, G2, G3, G4:
+		return []Part{{}}, nil
+	}
+	return nil, nil
+}
+
+func decode[T any](study string, raw []byte) ([]T, error) { return nil, nil }
+
+func AssembleAll(raw []byte) ([]Part, error) {
+	if _, err := decode[Part](G1, raw); err != nil {
+		return nil, err
+	}
+	if _, err := decode[Part](G2, raw); err != nil {
+		return nil, err
+	}
+	if _, err := decode[Part](G3, raw); err != nil {
+		return nil, err
+	}
+	return decode[Part](G4, raw)
+}

@@ -2,7 +2,8 @@
 // runs exactly this list; docs/DETERMINISM.md maps each gen-1 analyzer to
 // the invariant it guards, and docs/CONTRACTS.md does the same for the
 // gen-2 perf- and merge-contract analyzers (hotalloc, mergecontract,
-// sinkerr).
+// sinkerr) and the gen-3 shard-protocol analyzers (optfinger, goshared,
+// plancover).
 package suite
 
 import (
@@ -10,9 +11,12 @@ import (
 
 	"github.com/dramstudy/rhvpp/internal/analysis/ctxloop"
 	"github.com/dramstudy/rhvpp/internal/analysis/detsource"
+	"github.com/dramstudy/rhvpp/internal/analysis/goshared"
 	"github.com/dramstudy/rhvpp/internal/analysis/hotalloc"
 	"github.com/dramstudy/rhvpp/internal/analysis/maporder"
 	"github.com/dramstudy/rhvpp/internal/analysis/mergecontract"
+	"github.com/dramstudy/rhvpp/internal/analysis/optfinger"
+	"github.com/dramstudy/rhvpp/internal/analysis/plancover"
 	"github.com/dramstudy/rhvpp/internal/analysis/shardsafe"
 	"github.com/dramstudy/rhvpp/internal/analysis/sinkerr"
 	"github.com/dramstudy/rhvpp/internal/analysis/totalcmp"
@@ -23,9 +27,12 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxloop.Analyzer,
 		detsource.Analyzer,
+		goshared.Analyzer,
 		hotalloc.Analyzer,
 		maporder.Analyzer,
 		mergecontract.Analyzer,
+		optfinger.Analyzer,
+		plancover.Analyzer,
 		shardsafe.Analyzer,
 		sinkerr.Analyzer,
 		totalcmp.Analyzer,

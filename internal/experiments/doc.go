@@ -45,5 +45,10 @@
 //
 // Drivers must observe the determinism contracts of docs/DETERMINISM.md
 // (sorted map walks, total comparators, internal/rng only, cancellable
-// loops); `go run ./cmd/detlint ./...` checks them statically.
+// loops); `go run ./cmd/detlint ./...` checks them statically. This
+// package defines the shard-protocol catalog (ShardableStudies), so the
+// gen-3 plancover analyzer proves here that every study has PlanStudy,
+// RunUnits, and Assemble* legs agreeing on the partial type, and the
+// optfinger analyzer holds Options to its //detlint:fingerprint v1
+// freeze (docs/CONTRACTS.md).
 package experiments

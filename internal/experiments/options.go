@@ -15,6 +15,13 @@ import (
 // 4K rows each, 10 iterations) runs for weeks on an FPGA; Default keeps the
 // same structure at a size a laptop simulates in seconds, and Paper restores
 // the full parameters.
+//
+// The directive below freezes the v1 canonical-fingerprint field set
+// (docs/CONTRACTS.md, "Fingerprint completeness"): fields added later must
+// carry `json:",omitempty"` so shard artifacts produced before the addition
+// still merge with ones produced after.
+//
+//detlint:fingerprint v1=Seed,Geometry,Config,Chunks,RowsPerChunk,ModuleNames,VPPStride,SpiceMCRuns,RetentionVPPLevels,Jobs
 type Options struct {
 	// Seed selects the simulated device population.
 	Seed uint64

@@ -4,16 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
 	"runtime"
-	"sync"
 
 	"github.com/dramstudy/rhvpp/internal/artifact"
 	"github.com/dramstudy/rhvpp/internal/experiments"
+	"github.com/dramstudy/rhvpp/internal/pool"
 )
 
 // WorkUnit names one independently-executable slice of a study: a per-module
@@ -144,38 +143,31 @@ func (r ProcRunner) RunStudy(ctx context.Context, o Options, study Study, units 
 		return j
 	}
 
-	// Fail fast: the first shard error cancels the siblings instead of
-	// letting hours of doomed work run to completion.
-	parent := ctx
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	results := make([][]UnitResult, shards)
-	errs := make([]error, shards)
-	var wg sync.WaitGroup
-	for g := range groups {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			so := o
-			so.Jobs = jobsFor(g)
-			results[g], errs[g] = r.runShardProc(ctx, so, g, shards, groups[g])
-			if errs[g] != nil {
-				cancel()
-			}
-		}(g)
+	// Fail fast via the pool: the first shard error cancels the siblings
+	// instead of letting hours of doomed work run to completion, and each
+	// shard's results land in the pool's own slot for that index — no
+	// goroutine writes memory it shares with a sibling.
+	idx := make([]int, shards)
+	for g := range idx {
+		idx[g] = g
 	}
-	wg.Wait()
-	if err := parent.Err(); err != nil {
-		return nil, fmt.Errorf("rhvpp: shard fan-out: %w", err)
-	}
-	// Prefer the genuine failure over cancellation fallout from our own
-	// fail-fast cancel.
-	for pass := 0; pass < 2; pass++ {
-		for g, err := range errs {
-			if err != nil && (pass == 1 || !errors.Is(err, context.Canceled)) {
-				return nil, fmt.Errorf("rhvpp: shard %d/%d: %w", g, shards, err)
-			}
+	results, err := pool.Run(ctx, shards, idx, func(ctx context.Context, g int) ([]UnitResult, error) {
+		so := o
+		so.Jobs = jobsFor(g)
+		rs, err := r.runShardProc(ctx, so, g, shards, groups[g])
+		if err != nil {
+			return nil, fmt.Errorf("rhvpp: shard %d/%d: %w", g, shards, err)
 		}
+		return rs, nil
+	})
+	if err != nil {
+		// The caller's cancellation wins (pool.Run returns it bare);
+		// otherwise the pool already preferred the genuine shard failure
+		// over cancellation fallout from its own fail-fast cancel.
+		if perr := ctx.Err(); perr != nil {
+			return nil, fmt.Errorf("rhvpp: shard fan-out: %w", perr)
+		}
+		return nil, err
 	}
 	out := make([]UnitResult, 0, len(units))
 	for _, rs := range results {
@@ -331,7 +323,9 @@ func ShardUnits(units []WorkUnit, shard, of int) ([]WorkUnit, error) {
 // bit-for-bit (see internal/spice/batch.go), so shards produced at
 // different widths are byte-identical and merge freely too.
 func canonicalOptions(o Options) (json.RawMessage, error) {
+	//detlint:execshape Jobs only splits the worker budget; every unit computes the same bytes at any count
 	o.Jobs = 0
+	//detlint:execshape SpiceBatchWidth only picks the lane count; each lane replicates the scalar float-op order bit-for-bit
 	o.SpiceBatchWidth = 0
 	raw, err := json.Marshal(o)
 	if err != nil {

@@ -7,6 +7,9 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"github.com/dramstudy/rhvpp/internal/core"
+	"github.com/dramstudy/rhvpp/internal/physics"
 )
 
 // shardTestOptions is a minimal campaign touching two studies' units fast.
@@ -310,5 +313,85 @@ func TestRunShardHonorsCancellation(t *testing.T) {
 	cancel()
 	if _, err := RunShard(ctx, o, 0, 1, units); !errors.Is(err, context.Canceled) {
 		t.Errorf("canceled RunShard returned %v, want context.Canceled", err)
+	}
+}
+
+// TestShardArtifactsMergeAcrossOptionsGrowth pins the omitempty contract
+// behind the //detlint:fingerprint v1 freeze: an artifact encoded by a
+// binary predating the post-v1 knobs (SpiceFixedGrid, SpiceLTETolV,
+// SpiceBatchWidth) must still merge with one encoded today, because those
+// fields vanish from the canonical encoding at their zero values. A
+// non-default post-v1 knob that changes the measurement is a genuine
+// fingerprint difference and must refuse to merge.
+func TestShardArtifactsMergeAcrossOptionsGrowth(t *testing.T) {
+	// optionsV1 mirrors Options as of the v1 fingerprint freeze, before
+	// any omitempty field existed. If canonicalOptions ever stops encoding
+	// byte-identically to this shape at default knob values, artifacts
+	// from older campaign runs stop merging — that is the regression this
+	// test exists to catch.
+	type optionsV1 struct {
+		Seed                 uint64
+		Geometry             physics.Geometry
+		Config               core.Config
+		Chunks, RowsPerChunk int
+		ModuleNames          []string
+		VPPStride            int
+		SpiceMCRuns          int
+		RetentionVPPLevels   []float64
+		Jobs                 int
+	}
+	o := shardTestOptions()
+	now, err := canonicalOptions(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := json.Marshal(optionsV1{
+		Seed:               o.Seed,
+		Geometry:           o.Geometry,
+		Config:             o.Config,
+		Chunks:             o.Chunks,
+		RowsPerChunk:       o.RowsPerChunk,
+		ModuleNames:        o.ModuleNames,
+		VPPStride:          o.VPPStride,
+		SpiceMCRuns:        o.SpiceMCRuns,
+		RetentionVPPLevels: o.RetentionVPPLevels,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(now, old) {
+		t.Fatalf("canonical options drifted from the v1 freeze:\n v1: %s\nnow: %s", old, now)
+	}
+
+	units, err := PlanUnits(o, StudyCV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half0, _ := ShardUnits(units, 0, 2)
+	half1, _ := ShardUnits(units, 1, 2)
+	a0, err := RunShard(t.Context(), o, 0, 2, half0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := RunShard(t.Context(), o, 1, 2, half1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewind a1 to the pre-growth encoding, as if decoded from an artifact
+	// written before the omitempty fields existed.
+	a1.Options = old
+	if _, err := MergeArtifacts(a0, a1); err != nil {
+		t.Errorf("pre-growth artifact refused to merge with a current one: %v", err)
+	}
+
+	// A non-default post-v1 knob must surface in the fingerprint.
+	o2 := o
+	o2.SpiceFixedGrid = true
+	b1, err := RunShard(t.Context(), o2, 1, 2, half1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeArtifacts(a0, b1); err == nil {
+		t.Error("shards run under different SpiceFixedGrid settings merged; the knob is silently absent from the fingerprint")
 	}
 }

@@ -156,8 +156,9 @@ func (c *cell[T]) set(v T) {
 // multi-host sharding: PlanUnits + ShardUnits + RunShard emit per-shard
 // artifacts, and MergeArtifacts folds them back into a preloaded Campaign.
 type Campaign struct {
-	opts   Options
-	runner Runner
+	opts     Options
+	runner   Runner
+	progress ProgressFunc
 
 	rowhammer cell[experiments.RowHammerStudy]
 	trcd      cell[experiments.TRCDStudy]
@@ -224,7 +225,7 @@ func (c *Campaign) runStudy(ctx context.Context, s Study) (map[string]json.RawMe
 	if err != nil {
 		return nil, err
 	}
-	results, err := c.runner.RunStudy(ctx, c.opts, s, units)
+	results, err := c.execUnits(ctx, s, units)
 	if err != nil {
 		return nil, err
 	}
@@ -328,9 +329,9 @@ func (c *Campaign) CV(ctx context.Context) (CVStudy, error) {
 // Run renders one experiment by id into enc, reusing every study already
 // computed in this session.
 func (c *Campaign) Run(ctx context.Context, id string, enc Encoder) error {
-	e, ok := ExperimentByID(id)
-	if !ok {
-		return fmt.Errorf("rhvpp: unknown experiment %q (known: %v)", id, ExperimentNames())
+	e, err := LookupExperiment(id)
+	if err != nil {
+		return err
 	}
 	return e.Run(ctx, c, enc)
 }

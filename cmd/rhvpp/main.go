@@ -34,10 +34,12 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"text/tabwriter"
 
 	"github.com/dramstudy/rhvpp"
+	"github.com/dramstudy/rhvpp/internal/optparse"
 )
 
 func main() {
@@ -62,25 +64,21 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if len(args) > 0 && args[0] == "merge" {
 		return runMerge(ctx, args[1:], stdout)
 	}
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(ctx, args[1:], stdout)
+	}
 
 	fs := flag.NewFlagSet("rhvpp", flag.ContinueOnError)
+	var ov optparse.Overrides
+	ov.Flags(fs) // the campaign knobs shared with `rhvpp serve` query params
 	var (
 		exp      = fs.String("exp", "", "experiment id to run (or 'all'); see -list")
 		list     = fs.Bool("list", false, "list experiment ids with titles and paper sections, then exit")
 		format   = fs.String("format", "text", "output format: text, json, or csv")
-		jobs     = fs.Int("jobs", 0, "concurrent module sweeps (0 = one per CPU)")
-		modules  = fs.String("modules", "", "comma-separated module subset (e.g. B3,C0); empty = all 30")
-		rows     = fs.Int("rows", 0, "rows per chunk (0 = default)")
-		chunks   = fs.Int("chunks", 0, "row chunks per module (0 = default)")
-		seed     = fs.Uint64("seed", 0, "simulation seed (0 = default)")
-		stride   = fs.Int("stride", 0, "VPP sweep stride (1 = every 0.1V level)")
-		mcRuns   = fs.Int("mc", 0, "SPICE Monte-Carlo runs per voltage (0 = default)")
-		lteTol   = fs.Float64("ltetol", 0, "adaptive SPICE step-doubling error tolerance in volts (0 = engine default; beyond the default the fixed-grid crossing equivalence is best-effort)")
-		batchW   = fs.Int("batch", 0, "SPICE Monte-Carlo lockstep lanes per worker (0 = engine default, 1 = scalar; output is byte-identical at every width)")
-		fixGrid  = fs.Bool("fixed-grid", false, "integrate the SPICE Monte-Carlo on the historical fixed 25 ps grid (disables adaptive stepping)")
 		full     = fs.Bool("full", false, "use the paper's full-scale parameters (same as -preset paper)")
 		preset   = fs.String("preset", "", "campaign preset: default, paper, or golden (the pinned regression scope)")
 		outDir   = fs.String("out", "", "write each experiment's output to <out>/<id>.<ext> instead of stdout")
+		progress = fs.Bool("progress", false, "print per-unit completion lines to stderr while studies run")
 		shard    = fs.String("shard", "", "run shard i/n of the campaign work units and write a shard artifact (e.g. -shard 0/2)")
 		artPath  = fs.String("artifact", "", "shard artifact output path (with -shard; default shard-<i>-of-<n>.json)")
 		procs    = fs.Int("procs", 0, "fan study units out to N shard subprocesses of this binary")
@@ -116,32 +114,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *modules != "" {
-		o.ModuleNames = strings.Split(*modules, ",")
-	}
-	if *rows > 0 {
-		o.RowsPerChunk = *rows
-	}
-	if *chunks > 0 {
-		o.Chunks = *chunks
-	}
-	if *seed != 0 {
-		o.Seed = *seed
-	}
-	if *stride > 0 {
-		o.VPPStride = *stride
-	}
-	if *mcRuns > 0 {
-		o.SpiceMCRuns = *mcRuns
-	}
-	if *lteTol != 0 {
-		o.SpiceLTETolV = *lteTol // negative rejected by Options.Validate
-	}
-	if *batchW != 0 {
-		o.SpiceBatchWidth = *batchW // out-of-range rejected by Options.Validate
-	}
-	o.SpiceFixedGrid = *fixGrid
-	o.Jobs = *jobs
+	ov.Apply(&o)
 
 	if *procs < 0 {
 		return fmt.Errorf("-procs %d is negative (use a positive subprocess count, or omit for in-process execution)", *procs)
@@ -181,6 +154,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *progress {
+		c.WithProgress(stderrProgress())
+	}
 	if *procs > 0 {
 		exe, err := os.Executable()
 		if err != nil {
@@ -191,9 +167,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	return renderExperiments(ctx, c, expandIDs(*exp), f, *outDir, stdout)
 }
 
-// baseOptions resolves the campaign preset. -full is an alias for -preset
-// paper; combining it with a different preset is contradictory and rejected
-// rather than silently resolved.
+// baseOptions resolves the campaign preset through the shared resolver (the
+// serve API's `preset` query parameter goes through the same one). -full is
+// an alias for -preset paper; combining it with a different preset is
+// contradictory and rejected rather than silently resolved.
 func baseOptions(preset string, full bool) (rhvpp.Options, error) {
 	if full {
 		if preset != "" && preset != "paper" {
@@ -201,15 +178,23 @@ func baseOptions(preset string, full bool) (rhvpp.Options, error) {
 		}
 		preset = "paper"
 	}
-	switch preset {
-	case "", "default":
-		return rhvpp.DefaultOptions(), nil
-	case "paper":
-		return rhvpp.PaperOptions(), nil
-	case "golden":
-		return rhvpp.GoldenOptions(), nil
+	return rhvpp.PresetOptions(preset)
+}
+
+// stderrProgress returns a progress hook printing one line per completed
+// work unit. Module-sweep events arrive concurrently from the worker pool,
+// so the hook serializes writes to keep lines whole.
+func stderrProgress() rhvpp.ProgressFunc {
+	var mu sync.Mutex
+	return func(ev rhvpp.ProgressEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ev.Key == "" {
+			fmt.Fprintf(os.Stderr, "rhvpp: %s: %d units\n", ev.Study, ev.Total)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "rhvpp: %s %s %d/%d\n", ev.Study, ev.Key, ev.Done, ev.Total)
 	}
-	return rhvpp.Options{}, fmt.Errorf("unknown preset %q (known: default, paper, golden)", preset)
 }
 
 // expandIDs resolves "all" to every experiment id in presentation order.

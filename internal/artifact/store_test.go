@@ -1,0 +1,225 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// storeKey returns a syntactically valid fingerprint whose first byte is c.
+func storeKey(c byte) string {
+	return string(c) + strings.Repeat("0", 63)
+}
+
+func openTestStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	st := openTestStore(t, t.TempDir())
+	a := mkArtifact(t, 0, 1, `{"seed":7}`,
+		Unit{Study: "rowhammer", Key: "B3", Index: 1, Data: json.RawMessage(`{"x":1}`)})
+	key := storeKey('a')
+	if err := st.Put(key, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Options) != `{"seed":7}` || len(got.Units) != 1 || got.Units[0].Key != "B3" {
+		t.Errorf("round trip mangled the artifact: %+v", got)
+	}
+
+	// The committed entry's bytes are exactly the Encode bytes — the store
+	// adds no envelope of its own, so entries stay diffable against shard
+	// files written by the CLI.
+	var want bytes.Buffer
+	if err := Encode(&want, a); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile(st.Path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(disk, want.Bytes()) {
+		t.Error("stored bytes differ from Encode output")
+	}
+
+	// Overwriting a key is a clean replace.
+	b := mkArtifact(t, 0, 1, `{"seed":8}`)
+	if err := st.Put(key, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err = st.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Options) != `{"seed":8}` {
+		t.Errorf("overwrite not visible: options %s", got.Options)
+	}
+}
+
+func TestStoreRejectsMalformedKeys(t *testing.T) {
+	st := openTestStore(t, t.TempDir())
+	for _, key := range []string{
+		"",
+		"abc",
+		strings.Repeat("a", 63),
+		strings.Repeat("a", 65),
+		strings.Repeat("A", 64),          // upper-case hex is not canonical
+		strings.Repeat("a", 60) + "zzzz", // non-hex
+		"../" + strings.Repeat("a", 61),  // traversal attempt
+		strings.Repeat("a", 32) + "/" + strings.Repeat("a", 31), // embedded separator
+	} {
+		if err := st.Put(key, mkArtifact(t, 0, 1, `{}`)); err == nil {
+			t.Errorf("Put accepted malformed key %q", key)
+		}
+		if _, err := st.Get(key); err == nil || errors.Is(err, ErrNotFound) {
+			t.Errorf("Get of malformed key %q should fail loudly, got %v", key, err)
+		}
+	}
+}
+
+func TestStoreGetMissingIsNotFound(t *testing.T) {
+	st := openTestStore(t, t.TempDir())
+	_, err := st.Get(storeKey('b'))
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing entry: got %v, want ErrNotFound", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Error("a miss must not also read as corruption")
+	}
+}
+
+func TestStoreGetDamagedEntriesAreCorrupt(t *testing.T) {
+	st := openTestStore(t, t.TempDir())
+	var valid bytes.Buffer
+	if err := Encode(&valid, mkArtifact(t, 0, 1, `{"seed":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	for name, body := range map[string][]byte{
+		"garbage":       []byte("not json at all"),
+		"empty":         {},
+		"truncated":     valid.Bytes()[:valid.Len()/2],
+		"version-skew":  []byte(`{"schema":"` + Schema + `","version":99,"shard":0,"of":1}`),
+		"wrong-schema":  []byte(`{"schema":"other","version":1,"shard":0,"of":1}`),
+		"partial-shard": []byte(`{"schema":"` + Schema + `","version":1,"shard":0,"of":2}`),
+	} {
+		key := storeKey('c')
+		if err := os.WriteFile(st.Path(key), body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := st.Get(key)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s entry: got %v, want ErrCorrupt", name, err)
+		}
+		if errors.Is(err, ErrNotFound) {
+			t.Errorf("%s entry: corruption must not read as a plain miss", name)
+		}
+	}
+}
+
+func TestTwoStoresShareOneDirectory(t *testing.T) {
+	dir := t.TempDir()
+	a := openTestStore(t, dir)
+	b := openTestStore(t, dir)
+	key := storeKey('d')
+	if err := a.Put(key, mkArtifact(t, 0, 1, `{"seed":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get(key)
+	if err != nil {
+		t.Fatalf("second store handle cannot read first handle's entry: %v", err)
+	}
+	if string(got.Options) != `{"seed":1}` {
+		t.Errorf("options = %s", got.Options)
+	}
+	// Writes race benignly: last committed rename wins, and both handles see it.
+	if err := b.Put(key, mkArtifact(t, 0, 1, `{"seed":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err = a.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Options) != `{"seed":2}` {
+		t.Errorf("first handle reads stale entry: %s", got.Options)
+	}
+	keys, err := a.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != key {
+		t.Errorf("Keys = %v, want [%s]", keys, key)
+	}
+}
+
+func TestOpenStoreSweepsCrashLeftoverTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	committed := storeKey('e')
+	if err := st.Put(committed, mkArtifact(t, 0, 1, `{}`)); err != nil {
+		t.Fatal(err)
+	}
+	// A writer that died mid-Put leaves an unrenamed temp file and nothing
+	// else — the committed entry must survive a sweep, the leftovers must not.
+	for _, leftover := range []string{
+		storeKey('f') + ".tmp-12345",
+		committed + ".tmp-999",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, leftover), []byte(`{"half":`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2 := openTestStore(t, dir)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s survived OpenStore", e.Name())
+		}
+	}
+	if _, err := st2.Get(committed); err != nil {
+		t.Errorf("committed entry lost to sweep: %v", err)
+	}
+	// The abandoned write never became visible as an entry.
+	if _, err := st2.Get(storeKey('f')); !errors.Is(err, ErrNotFound) {
+		t.Errorf("abandoned write visible: %v", err)
+	}
+}
+
+func TestStoreKeysIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	key := storeKey('1')
+	if err := st.Put(key, mkArtifact(t, 0, 1, `{}`)); err != nil {
+		t.Fatal(err)
+	}
+	for _, foreign := range []string{"README.md", "notes.json", "short.json"} {
+		if err := os.WriteFile(filepath.Join(dir, foreign), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := st.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != key {
+		t.Errorf("Keys = %v, want just [%s]", keys, key)
+	}
+}

@@ -337,40 +337,7 @@ func canonicalOptions(o Options) (json.RawMessage, error) {
 // RunShard executes the given units in-process and packages their results as
 // shard `shard` of `of`. It is the library form of `rhvpp -shard i/n`.
 func RunShard(ctx context.Context, o Options, shard, of int, units []WorkUnit) (*ShardArtifact, error) {
-	if err := o.Validate(); err != nil {
-		return nil, err
-	}
-	opts, err := canonicalOptions(o)
-	if err != nil {
-		return nil, err
-	}
-	art, err := artifact.New(shard, of, opts)
-	if err != nil {
-		return nil, err
-	}
-	// Group by study, preserving unit order within each study; execute each
-	// study's units through the local backend.
-	byStudy := make(map[string][]WorkUnit)
-	var order []string
-	for _, u := range units {
-		if _, ok := byStudy[u.Study]; !ok {
-			order = append(order, u.Study)
-		}
-		byStudy[u.Study] = append(byStudy[u.Study], u)
-	}
-	for _, study := range order {
-		su := byStudy[study]
-		payloads, err := experiments.RunUnits(ctx, o, study, su)
-		if err != nil {
-			return nil, fmt.Errorf("rhvpp: shard %d/%d study %s: %w", shard, of, study, err)
-		}
-		for i, raw := range payloads {
-			art.Units = append(art.Units, artifact.Unit{
-				Study: su[i].Study, Key: su[i].Key, Index: su[i].Index, Data: raw,
-			})
-		}
-	}
-	return art, nil
+	return RunShardObserved(ctx, o, shard, of, units, nil)
 }
 
 // MergeArtifacts validates a complete shard set and opens a Campaign whose
